@@ -1,0 +1,9 @@
+"""Benchmark helpers."""
+
+
+def record(benchmark, **pairs) -> None:
+    """Stash paper-vs-measured values on the benchmark entry."""
+    for key, value in pairs.items():
+        benchmark.extra_info[key] = (
+            round(value, 4) if isinstance(value, float) else value
+        )

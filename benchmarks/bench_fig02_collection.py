@@ -1,0 +1,38 @@
+"""Figure 2: weekly collection volume and top-8 resource usage."""
+
+from _helpers import record
+
+
+def test_fig2a_collection_series(benchmark, study, scale):
+    series = benchmark(study.collection_series)
+    paper_avg = 782_300
+    measured = series.average * scale
+    record(
+        benchmark,
+        paper_avg_collected=paper_avg,
+        measured_avg_collected_scaled=measured,
+    )
+    # Shape: a stable weekly volume in the paper's band (±25% scaled).
+    assert 0.7 * paper_avg < measured < 1.15 * paper_avg
+
+
+def test_fig2b_resource_usage(benchmark, study):
+    usage = benchmark(study.resource_usage)
+    paper = {
+        "javascript": 0.947,
+        "css": 0.884,
+        "favicon": 0.550,
+        "imported-html": 0.318,
+        "xml": 0.256,
+    }
+    for resource, expected in paper.items():
+        measured = usage.averages[resource]
+        record(
+            benchmark,
+            **{f"paper_{resource}": expected, f"measured_{resource}": measured},
+        )
+        assert abs(measured - expected) < 0.08, resource
+    ranked = [name for name, _ in usage.ranked()]
+    assert ranked[:2] == ["javascript", "css"]
+    assert usage.averages["svg"] < 0.05
+    assert usage.averages["axd"] < 0.05

@@ -1,0 +1,27 @@
+"""Figure 3: library usage trends, incl. the jQuery-Migrate dip."""
+
+from _helpers import record
+
+from repro.analysis.landscape import migrate_dip
+
+
+def test_fig3_trends_and_migrate_dip(benchmark, study):
+    result = benchmark(study.landscape)
+
+    # jQuery declines slowly (67.2% -> 63.1% in the paper).
+    jquery = result.usage_series["jquery"]
+    early = sum(jquery[:10]) / 10
+    late = sum(jquery[-10:]) / 10
+    record(benchmark, jquery_early=early, jquery_late=late)
+    assert late < early
+
+    # Rising libraries per Figure 3(b).
+    for library in ("js-cookie", "underscore", "popper", "polyfill"):
+        series = result.usage_series[library]
+        assert sum(series[-10:]) > sum(series[:10]), library
+
+    # The Aug-Dec 2020 jQuery-Migrate dip and recovery.
+    before, minimum, after = migrate_dip(result)
+    record(benchmark, migrate_before=before, migrate_min=minimum, migrate_after=after)
+    assert minimum < before * 0.8
+    assert after > minimum * 1.1

@@ -1,0 +1,64 @@
+"""Figures 4 and 13: disclosed vs understated/overstated version bands.
+
+Runs the PoC lab sweep (the paper's 85-environment experiment) for the
+six libraries shown in Figures 4/13 and checks each band.
+"""
+
+from _helpers import record
+
+from repro.poclab import ValidationLab
+from repro.vulndb import default_database
+
+
+def test_fig4_jquery_bands(benchmark):
+    lab = ValidationLab(default_database())
+
+    def sweep_jquery():
+        return {
+            cve: lab.classify(cve)
+            for cve in (
+                "CVE-2020-7656",
+                "CVE-2020-11023",
+                "CVE-2020-11022",
+                "CVE-2014-6071",
+                "CVE-2012-6708",
+            )
+        }
+
+    verdicts = benchmark(sweep_jquery)
+    # CVE-2020-7656: versions above 1.9.1 up to 3.5.1 newly revealed.
+    assert "1.10.1" in verdicts["CVE-2020-7656"].newly_revealed
+    assert "3.5.1" in verdicts["CVE-2020-7656"].newly_revealed
+    # CVE-2020-11023: 1.0.3..1.3.x exonerated (overstated).
+    assert "1.0.3" in verdicts["CVE-2020-11023"].exonerated
+    # CVE-2020-11022: everything below 1.12.0 exonerated.
+    assert "1.2" in verdicts["CVE-2020-11022"].exonerated
+    # CVE-2014-6071: both directions; the dangerous one dominates.
+    assert verdicts["CVE-2014-6071"].newly_revealed
+    # CVE-2012-6708: 1.9.0 exonerated.
+    assert verdicts["CVE-2012-6708"].exonerated == ("1.9.0",)
+    record(benchmark, jquery_cves_with_bands=5)
+
+
+def test_fig13_other_library_bands(benchmark):
+    lab = ValidationLab(default_database())
+
+    def sweep_others():
+        return {
+            advisory_id: lab.classify(advisory_id)
+            for advisory_id in (
+                "CVE-2016-4055",
+                "JQMIGRATE-2013-XSS",
+                "CVE-2016-7103",
+                "CVE-2016-10735",
+                "CVE-2020-27511",
+            )
+        }
+
+    verdicts = benchmark(sweep_others)
+    assert "2.13.0" in verdicts["CVE-2016-4055"].newly_revealed  # Moment
+    assert "1.4.1" in verdicts["JQMIGRATE-2013-XSS"].newly_revealed
+    assert "1.12.1" in verdicts["CVE-2016-7103"].newly_revealed  # jQuery-UI
+    assert "2.0.0" in verdicts["CVE-2016-10735"].exonerated  # Bootstrap
+    assert verdicts["CVE-2020-27511"].newly_revealed  # Prototype: future
+    record(benchmark, other_library_bands=5)

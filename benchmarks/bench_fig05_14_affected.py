@@ -1,0 +1,47 @@
+"""Figures 5 and 14: weekly affected sites, stated vs true ranges."""
+
+from _helpers import record
+
+
+def test_fig5_jquery_affected_series(benchmark, study):
+    def series():
+        return {
+            cve: study.affected_series(cve)
+            for cve in ("CVE-2020-7656", "CVE-2014-6071", "CVE-2020-11022")
+        }
+
+    result = benchmark(series)
+    # (a) and (b): true ranges reveal substantially more affected sites.
+    for cve in ("CVE-2020-7656", "CVE-2014-6071"):
+        assert result[cve].average_true > 1.5 * result[cve].average_stated, cve
+    # (c): the overstated case reveals fewer.
+    assert result["CVE-2020-11022"].average_true < result["CVE-2020-11022"].average_stated
+    record(
+        benchmark,
+        cve7656_stated=result["CVE-2020-7656"].average_stated,
+        cve7656_true=result["CVE-2020-7656"].average_true,
+    )
+
+
+def test_fig14_other_series(benchmark, study):
+    def series():
+        return {
+            advisory_id: study.affected_series(advisory_id)
+            for advisory_id in (
+                "JQMIGRATE-2013-XSS",
+                "CVE-2016-10735",
+                "CVE-2016-7103",
+                "CVE-2016-4055",
+                "CVE-2020-27511",
+            )
+        }
+
+    result = benchmark(series)
+    assert result["JQMIGRATE-2013-XSS"].average_true > result[
+        "JQMIGRATE-2013-XSS"
+    ].average_stated
+    assert result["CVE-2016-10735"].average_true <= result["CVE-2016-10735"].average_stated
+    assert result["CVE-2016-7103"].average_true > result["CVE-2016-7103"].average_stated
+    # Prototype TVV = all versions, so unversioned sites count too.
+    assert result["CVE-2020-27511"].average_true >= result["CVE-2020-27511"].average_stated
+    record(benchmark, figures=5)

@@ -1,0 +1,27 @@
+"""Figure 6: usage trends of CVE-2020-7656's affected versions."""
+
+from _helpers import record
+
+from repro.analysis.updates import affected_version_trends
+
+
+def test_fig6_affected_version_trends(benchmark, study):
+    advisory = study.database.get("CVE-2020-7656")
+    trends = benchmark(affected_version_trends, study.store, advisory, 5)
+
+    assert len(trends.series) == 5
+    for version in trends.series:
+        assert advisory.stated_range.contains(version)
+
+    # The paper: the patched version (1.9.0) never takes off after the
+    # 2020 disclosure — affected-version usage stays flat or declines.
+    for version, series in trends.series.items():
+        disclosure_index = next(
+            i for i, d in enumerate(trends.dates) if d >= "2020-05"
+        )
+        before = sum(series[:disclosure_index]) / max(disclosure_index, 1)
+        after = sum(series[disclosure_index:]) / max(
+            len(series) - disclosure_index, 1
+        )
+        assert after <= before * 1.3, version
+        record(benchmark, **{f"avg_after_disclosure_{version}": after})

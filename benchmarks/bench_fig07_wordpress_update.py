@@ -1,0 +1,57 @@
+"""Figure 7: the WordPress-driven jQuery update wave of Dec 2020."""
+
+from _helpers import record
+
+from repro.analysis.updates import december_2020_wave
+
+
+def test_fig7a_version_swap(benchmark, study):
+    trends = benchmark(
+        study.version_trends, "jquery", ["1.12.4", "3.5.0", "3.5.1", "3.6.0"]
+    )
+    dates = trends.dates
+
+    def window_mean(version, lo, hi):
+        values = [c for c, d in zip(trends.series[version], dates) if lo <= d < hi]
+        return sum(values) / max(len(values), 1)
+
+    # 3.5.0 is barely used (paper: "nearly 0%") — superseded in weeks.
+    assert max(trends.series["3.5.0"]) <= max(trends.series["3.5.1"]) * 0.2
+
+    # 1.12.4 drops sharply across Dec 2020 while 3.5.1 rises.
+    old_before = window_mean("1.12.4", "2020-10", "2020-12")
+    old_after = window_mean("1.12.4", "2021-02", "2021-04")
+    new_before = window_mean("3.5.1", "2020-10", "2020-12")
+    new_after = window_mean("3.5.1", "2021-02", "2021-04")
+    record(
+        benchmark,
+        jq1124_before=old_before,
+        jq1124_after=old_after,
+        jq351_before=new_before,
+        jq351_after=new_after,
+    )
+    assert old_after < old_before * 0.85
+    assert new_after > new_before * 1.5
+
+    # From Aug 2021, 3.6.0 rises (the next platform bundle).
+    v360_mid = window_mean("3.6.0", "2021-05", "2021-07")
+    v360_late = window_mean("3.6.0", "2021-10", "2021-12")
+    assert v360_late > v360_mid
+
+    wave = december_2020_wave(study.store)
+    assert wave["old_drop"] > 0.15 and wave["new_rise"] > 0.15
+
+
+def test_fig7b_wordpress_attribution(benchmark, study):
+    wp_trends = benchmark(
+        study.wordpress_jquery_trends, ["1.12.4", "3.5.1", "3.6.0"]
+    )
+    all_trends = study.version_trends("jquery", ["3.5.1"])
+
+    # The 3.5.1 surge is overwhelmingly WordPress sites.
+    total_351 = sum(all_trends.series["3.5.1"])
+    wp_351 = sum(wp_trends.series["3.5.1"])
+    record(benchmark, wp_attribution=wp_351 / max(total_351, 1))
+    # WordPress sites account for the majority of 3.5.1 usage (organic
+    # updaters contribute the rest while 3.5.1 is the latest release).
+    assert wp_351 / max(total_351, 1) > 0.5

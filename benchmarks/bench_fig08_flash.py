@@ -1,0 +1,28 @@
+"""Figure 8 / RQ4: Adobe Flash usage decay and post-EOL persistence."""
+
+from _helpers import record
+
+
+def test_fig8_flash_decay(benchmark, study, scale):
+    usage = benchmark(study.flash_usage)
+
+    start = usage.start_count * scale
+    end = usage.end_count * scale
+    after_eol = usage.average_after_eol * scale
+    record(
+        benchmark,
+        paper_start=9880, measured_start=start,
+        paper_end=3195, measured_end=end,
+        paper_after_eol=3553, measured_after_eol=after_eol,
+    )
+    # Monotone-ish decay with the paper's start/end ratio (~3x).
+    assert start > end
+    assert 1.8 < start / max(end, 1) < 5.0
+    # Post-EOL persistent cohort in the paper's band.
+    assert 0.4 * 3553 < after_eol < 2.2 * 3553
+    # Top-tier usage is rarer than tail usage (Figure 8's two axes):
+    # compare per-domain Flash rates of the top-1K slice vs everyone.
+    population = study.config.population
+    top1k_rate = sum(usage.top1k) / (min(1000, population) * len(usage.dates))
+    overall_rate = sum(usage.total) / (population * len(usage.dates))
+    assert top1k_rate < overall_rate

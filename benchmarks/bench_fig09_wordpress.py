@@ -1,0 +1,12 @@
+"""Figure 9: WordPress usage (26.9% of collected sites)."""
+
+from _helpers import record
+
+
+def test_fig9_wordpress_usage(benchmark, study):
+    usage = benchmark(study.wordpress_usage)
+    record(benchmark, paper_share=0.269, measured_share=usage.average_share)
+    assert abs(usage.average_share - 0.269) < 0.05
+    # WordPress volume tracks the collection volume week over week.
+    for wordpress, collected in zip(usage.wordpress, usage.collected):
+        assert wordpress <= collected

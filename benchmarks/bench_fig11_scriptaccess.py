@@ -1,0 +1,20 @@
+"""Figure 11: AllowScriptAccess usage and the insecure `always` option."""
+
+from _helpers import record
+
+
+def test_fig11_script_access(benchmark, study):
+    result = benchmark(study.flash_script_access)
+    average = result.average_always_share
+    early = sum(result.always[:30]) / max(sum(result.flash_sites[:30]), 1)
+    late = sum(result.always[-30:]) / max(sum(result.flash_sites[-30:]), 1)
+    record(
+        benchmark,
+        paper_average=0.247, measured_average=average,
+        paper_early=0.21, measured_early=early,
+        paper_late=0.30, measured_late=late,
+    )
+    # Paper: average 24.7% of Flash sites use the insecure option,
+    # growing from ~21% to ~30%.
+    assert 0.15 < average < 0.38
+    assert late > early

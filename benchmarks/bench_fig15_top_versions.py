@@ -1,0 +1,34 @@
+"""Figure 15: top-5 affected versions for Bootstrap/Prototype/jQuery-UI."""
+
+from _helpers import record
+
+from repro.analysis.updates import affected_version_trends
+
+
+def test_fig15_top_affected_versions(benchmark, study):
+    def trends():
+        return {
+            "bootstrap": affected_version_trends(
+                study.store, study.database.get("CVE-2016-10735"), 5
+            ),
+            "prototype": affected_version_trends(
+                study.store, study.database.get("CVE-2020-27511"), 5
+            ),
+            "jquery-ui": affected_version_trends(
+                study.store, study.database.get("CVE-2021-41182"), 5
+            ),
+        }
+
+    result = benchmark(trends)
+    # The dominant version of each library sits among the affected
+    # (Figure 15's core observation).
+    assert "3.3.7" in result["bootstrap"].series
+    assert "1.7.1" in result["prototype"].series
+    assert "1.12.1" in result["jquery-ui"].series
+    # And disclosure does not bend the curves: usage persists after the
+    # 2021 jQuery-UI CVEs.
+    ui_series = result["jquery-ui"].series["1.12.1"]
+    dates = result["jquery-ui"].dates
+    after = [c for c, d in zip(ui_series, dates) if d >= "2021-11"]
+    assert sum(after) > 0
+    record(benchmark, libraries=3)

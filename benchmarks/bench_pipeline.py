@@ -1,0 +1,50 @@
+"""Pipeline throughput: fingerprinting and end-to-end crawling."""
+
+from _helpers import record
+
+from repro import ScenarioConfig
+from repro.crawler import Crawler
+from repro.fingerprint import FingerprintEngine
+from repro.webgen import WebEcosystem
+
+
+def test_fingerprint_throughput(benchmark):
+    config = ScenarioConfig(population=200, seed=3)
+    ecosystem = WebEcosystem(config)
+    engine = FingerprintEngine()
+    pages = [
+        (ecosystem.landing_page(domain, 100), f"https://{domain.name}/")
+        for domain in list(ecosystem.population)[:100]
+    ]
+
+    def fingerprint_all():
+        return [engine.fingerprint(html, url) for html, url in pages]
+
+    profiles = benchmark(fingerprint_all)
+    record(benchmark, pages_per_round=len(profiles))
+    assert len(profiles) == 100
+
+
+def test_full_crawl_week(benchmark):
+    """One full-mode crawl week (HTTP + fingerprint for every domain)."""
+    config = ScenarioConfig(population=300, seed=4)
+    ecosystem = WebEcosystem(config)
+
+    def crawl_week():
+        crawler = Crawler(ecosystem, mode="full", apply_filter=False)
+        return crawler.run(weeks=ecosystem.calendar.weeks[:1])
+
+    report = benchmark(crawl_week)
+    assert report.pages_collected > 100
+
+
+def test_manifest_crawl_week(benchmark):
+    config = ScenarioConfig(population=300, seed=4)
+    ecosystem = WebEcosystem(config)
+
+    def crawl_week():
+        crawler = Crawler(ecosystem, mode="manifest", apply_filter=False)
+        return crawler.run(weeks=ecosystem.calendar.weeks[:1])
+
+    report = benchmark(crawl_week)
+    assert report.pages_collected > 100

@@ -1,0 +1,30 @@
+"""RQ1: prevalence of vulnerable websites (41.2% / 43.2%)."""
+
+from _helpers import record
+
+from repro.vulndb import MatchMode
+
+
+def test_rq1_prevalence(benchmark, study):
+    result = benchmark(study.prevalence)
+    cve = result.average_share[MatchMode.CVE]
+    tvv = result.average_share[MatchMode.TVV]
+    record(
+        benchmark,
+        paper_cve=0.412, measured_cve=cve,
+        paper_tvv=0.432, measured_tvv=tvv,
+    )
+    # Band around the paper's 41.2% / 43.2%.
+    assert 0.30 < cve < 0.58
+    assert tvv > cve
+    # The CVE/TVV gap grows over the years (0.1% in 2018 -> 2.9% in 2022).
+    gap_2018 = (
+        result.yearly_share[MatchMode.TVV][2018]
+        - result.yearly_share[MatchMode.CVE][2018]
+    )
+    gap_2022 = (
+        result.yearly_share[MatchMode.TVV][2022]
+        - result.yearly_share[MatchMode.CVE][2022]
+    )
+    record(benchmark, gap_2018=gap_2018, gap_2022=gap_2022)
+    assert gap_2022 > gap_2018

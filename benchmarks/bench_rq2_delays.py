@@ -1,0 +1,30 @@
+"""RQ2: the window of vulnerability (531.2 days; 701.2 vs 510 under TVV)."""
+
+from _helpers import record
+
+
+def test_rq2_update_delays(benchmark, study, scale):
+    result = benchmark(study.update_delays)
+    record(
+        benchmark,
+        paper_mean_days=531.2,
+        measured_mean_days=result.mean_delay_days,
+        paper_updating_sites=25337,
+        measured_updating_sites_scaled=result.total_updated_sites * scale / 28,
+    )
+    # Order of magnitude: hundreds of days, not weeks.
+    assert 150 < result.mean_delay_days < 1100
+    # Most at-risk sites never update within the window (frozen mass).
+    assert result.total_censored_sites > result.total_updated_sites * 0.3
+
+
+def test_rq2_understatement_penalty(benchmark, study):
+    penalty = benchmark(study.understatement_penalty)
+    record(
+        benchmark,
+        paper_stated=510.0, measured_stated=penalty.stated_mean_days,
+        paper_true=701.2, measured_true=penalty.true_mean_days,
+    )
+    # The relation the paper reports: measuring the understated CVEs
+    # against their true ranges reveals substantially longer exposure.
+    assert penalty.true_mean_days > penalty.stated_mean_days + 50

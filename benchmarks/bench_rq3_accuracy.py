@@ -1,0 +1,37 @@
+"""RQ3: CVE accuracy — the PoC-lab sweep end to end."""
+
+from _helpers import record
+
+from repro.poclab import ValidationLab
+from repro.vulndb import RangeAccuracy, default_database
+
+
+def test_rq3_full_validation_sweep(benchmark):
+    def sweep():
+        return ValidationLab(default_database()).summary()
+
+    summary = benchmark(sweep)
+    record(
+        benchmark,
+        paper_incorrect=13,
+        measured_incorrect_cves=summary[RangeAccuracy.UNDERSTATED]
+        + summary[RangeAccuracy.OVERSTATED]
+        - 1,  # minus the non-CVE migrate advisory
+        understated=summary[RangeAccuracy.UNDERSTATED],
+        overstated=summary[RangeAccuracy.OVERSTATED],
+    )
+    assert summary[RangeAccuracy.UNDERSTATED] == 6  # 5 CVEs + migrate
+    assert summary[RangeAccuracy.OVERSTATED] == 8
+
+
+def test_rq3_refinement(benchmark, study, scale):
+    result = benchmark(study.refinement)
+    record(
+        benchmark,
+        paper_affected_by_incorrect=337773,
+        measured_affected_scaled=result.affected_by_incorrect * scale,
+        gap_2018_pp=result.yearly_gap.get(2018, 0.0),
+        gap_2022_pp=result.yearly_gap.get(2022, 0.0),
+    )
+    assert result.average_share_tvv > result.average_share_cve
+    assert result.yearly_gap[2022] > result.yearly_gap[2018]

@@ -1,0 +1,18 @@
+"""RQ4: the Flash case study (survivors, visibility, countries)."""
+
+from _helpers import record
+
+
+def test_rq4_case_study(benchmark, study):
+    rows = benchmark(study.flash_case_study)
+    record(benchmark, paper_survivors=13, measured_survivors=len(rows))
+    # The paper found 13 post-EOL survivors in the top 10K (of 782K);
+    # at our scale this is a small handful — the invariant is that the
+    # cohort is tiny relative to the top-10K slice crawled.
+    top10k_share = min(10_000, study.config.population)
+    assert len(rows) < top10k_share * 0.02
+    # Mixed visibility: the paper saw 6/13 visible; require both kinds
+    # to exist when the cohort is big enough.
+    if len(rows) >= 8:
+        assert any(r.visible for r in rows)
+        assert any(not r.visible for r in rows)

@@ -1,0 +1,54 @@
+"""Table 1: top-15 library usage, inclusion types, dominant versions."""
+
+from _helpers import record
+
+PAPER_USAGE = {
+    "jquery": 0.640,
+    "bootstrap": 0.215,
+    "jquery-migrate": 0.208,
+    "jquery-ui": 0.122,
+    "modernizr": 0.095,
+}
+
+PAPER_DOMINANT = {
+    "jquery": "1.12.4",
+    "bootstrap": "3.3.7",
+    "jquery-migrate": "1.4.1",
+    "jquery-ui": "1.12.1",
+    "js-cookie": "2.1.4",
+    "prototype": "1.7.1",
+    "swfobject": "2.2",
+    "jquery-cookie": "1.4.1",
+}
+
+
+def test_table1_landscape(benchmark, study):
+    result = benchmark(study.landscape)
+
+    for library, expected in PAPER_USAGE.items():
+        measured = result.row(library).usage_share
+        record(
+            benchmark,
+            **{f"paper_{library}": expected, f"measured_{library}": measured},
+        )
+        assert abs(measured - expected) < 0.07, library
+
+    # Ranking head matches the paper.
+    assert result.rows[0].library == "jquery"
+    top5 = {row.library for row in result.rows[:5]}
+    assert {"jquery", "bootstrap", "jquery-migrate", "jquery-ui"} <= top5
+
+    # Dominant versions per Table 1.
+    for library, version in PAPER_DOMINANT.items():
+        assert result.row(library).dominant_version == version, library
+
+    # Inclusion character: internal dominates overall (paper: 67.7%)
+    # and jQuery's external inclusions are overwhelmingly CDN (96.1%).
+    assert result.row("jquery").cdn_share_of_external > 0.85
+    assert result.row("jquery").internal_share > 0.5
+
+    # Vulnerability counts straight from Table 1's last column.
+    assert [result.row(l).vulnerability_count for l in (
+        "jquery", "bootstrap", "jquery-migrate", "jquery-ui",
+        "underscore", "moment", "prototype",
+    )] == [8, 7, 1, 6, 1, 2, 2]

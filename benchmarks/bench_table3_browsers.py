@@ -1,0 +1,17 @@
+"""Table 3: desktop-browser Flash support matrix."""
+
+from _helpers import record
+
+from repro.analysis.flash import BROWSER_FLASH_SUPPORT, flash_supporting_browsers
+
+
+def test_table3_browser_matrix(benchmark):
+    supporting = benchmark(flash_supporting_browsers)
+    record(benchmark, flash_supporting=",".join(supporting))
+    # The paper: only the 360 Browser still plays Flash.
+    assert supporting == ["360 Browser"]
+    # Ten browsers, Chrome on top, market shares descending.
+    assert len(BROWSER_FLASH_SUPPORT) == 10
+    assert BROWSER_FLASH_SUPPORT[0][0] == "Chrome"
+    shares = [share for _, share, _ in BROWSER_FLASH_SUPPORT]
+    assert shares == sorted(shares, reverse=True)

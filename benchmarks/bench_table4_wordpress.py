@@ -1,0 +1,25 @@
+"""Table 4: top-10 WordPress CVEs and affected-site counts."""
+
+from _helpers import record
+
+from repro.analysis.wordpress import recent_vs_severe_exposure
+
+
+def test_table4_wordpress_cves(benchmark, study):
+    rows = benchmark(study.wordpress_cves)
+    assert len(rows) == 10
+
+    recent, severe = recent_vs_severe_exposure(rows)
+    record(
+        benchmark,
+        paper_recent=0.977, measured_recent=recent,
+        paper_severe=0.0036, measured_severe=severe,
+    )
+    # Paper: recent CVEs cover ~97.7% of WordPress sites (patches ship
+    # as new versions), ancient severe ones ~0.36%.
+    assert recent > 0.6
+    assert severe < 0.05
+
+    # The 2022-01-06 batch affects the most sites in absolute terms.
+    top = max(rows, key=lambda r: r.average_affected)
+    assert top.advisory.identifier.startswith("CVE-202")

@@ -1,0 +1,19 @@
+"""Table 5: top CDN hosts per library."""
+
+from _helpers import record
+
+
+def test_table5_top_cdns(benchmark, study):
+    result = benchmark(study.landscape)
+    top = {lib: [h for h, _ in hosts] for lib, hosts in result.top_cdns.items()}
+
+    # Paper Table 5 anchors (top named host per library).
+    assert "ajax.googleapis.com" in top["jquery"]
+    assert any("bootstrapcdn.com" in h for h in top["bootstrap"])
+    assert "ajax.googleapis.com" in top["jquery-ui"]
+    assert "cdnjs.cloudflare.com" in top["popper"]
+    assert "cdnjs.cloudflare.com" in top["moment"]
+    assert "ajax.googleapis.com" in top["swfobject"]
+    assert "cdnjs.cloudflare.com" in top["jquery-cookie"]
+    assert any("polyfill.io" in h for h in top["polyfill"])
+    record(benchmark, libraries_with_table5_hosts=8)

@@ -1,0 +1,23 @@
+"""Table 6: libraries loaded straight from GitHub-pages hosts."""
+
+from _helpers import record
+
+
+def test_table6_github_hosting(benchmark, study, scale):
+    result = benchmark(study.untrusted)
+    measured_sites = result.average_sites * scale
+    record(
+        benchmark,
+        paper_sites=1670, measured_sites_scaled=measured_sites,
+        paper_integrity=0.006, measured_integrity=result.integrity_share,
+    )
+    # Paper: ~1,670 sites on average load from VCS hosts...
+    assert 0.2 * 1670 < measured_sites < 4 * 1670
+    # ...and essentially none of them use SRI (0.6%).
+    assert result.integrity_share < 0.12
+
+    hosts = [row.host for row in result.rows]
+    assert all(h.endswith(("github.io", "github.com")) for h in hosts)
+    # wp-r.github.io is the paper's most popular repository host.
+    if hosts:
+        assert "wp-r.github.io" in hosts[:5]

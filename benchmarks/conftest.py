@@ -1,0 +1,39 @@
+"""Shared state for the benchmark harness.
+
+One scenario is crawled once per benchmark session (manifest mode, the
+full 201 weeks) and every table/figure benchmark reads from it — exactly
+how the paper's analyses share one collected dataset.
+
+Every benchmark records the paper's published value and our measured
+value in ``benchmark.extra_info`` so the emitted table doubles as the
+EXPERIMENTS comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScenarioConfig, Study
+
+#: Benchmark population: large enough for stable shares, small enough
+#: that the one-off crawl stays under a minute.
+BENCH_POPULATION = 4_000
+BENCH_SEED = 20230926
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    study = Study(ScenarioConfig(population=BENCH_POPULATION, seed=BENCH_SEED))
+    study.run()
+    return study
+
+
+@pytest.fixture(scope="session")
+def store(study):
+    return study.store
+
+
+@pytest.fixture(scope="session")
+def scale(study) -> float:
+    """Multiplier to paper-scale counts (782,300 avg weekly sites)."""
+    return study.config.scale_factor

@@ -1,0 +1,55 @@
+"""Section 8 reproduction: Adobe Flash after its end of life.
+
+Prints the Figure 8 decay series, the Figure 11 AllowScriptAccess
+trends, the Table 3 browser matrix, and the top-10K survivor case study.
+
+Usage::
+
+    python examples/flash_eol.py [population]
+"""
+
+import sys
+
+from repro import ScenarioConfig, Study
+from repro.analysis.flash import BROWSER_FLASH_SUPPORT
+from repro.reporting import Table, render_series
+
+
+def main() -> None:
+    population = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    study = Study(ScenarioConfig(population=population))
+    study.run()
+    scale = study.config.scale_factor
+
+    usage = study.flash_usage()
+    print("Figure 8 — Flash usage (all ranks)")
+    print(render_series(usage.dates, usage.total, "flash sites"))
+    print(
+        f"start: {usage.start_count * scale:,.0f} (paper 9,880)   "
+        f"end: {usage.end_count * scale:,.0f} (paper 3,195)   "
+        f"avg after EOL: {usage.average_after_eol * scale:,.0f} (paper 3,553)"
+    )
+    print()
+
+    access = study.flash_script_access()
+    print("Figure 11 — AllowScriptAccess")
+    print(render_series(access.dates, access.specified, "parameter specified"))
+    print(render_series(access.dates, access.always, "insecure 'always'"))
+    print(f"average insecure share: {access.average_always_share:.1%} (paper 24.7%)")
+    print()
+
+    table = Table(["browser", "market share", "plays Flash"], title="Table 3")
+    for name, share, supported in BROWSER_FLASH_SUPPORT:
+        table.add_row(name, f"{share:.2f}%", "YES" if supported else "no")
+    print(table.render())
+    print()
+
+    survivors = study.flash_case_study()
+    print(f"top-10K post-EOL survivors: {len(survivors)} (paper: 13 at 782K scale)")
+    for row in survivors:
+        visibility = "visible" if row.visible else "invisible"
+        print(f"  #{row.rank:<6} {row.domain:28s} {visibility:9s} {row.country}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Section 6.5 + Section 9 reproduction: external-library hygiene.
+
+Audits a crawled scenario for:
+
+* Subresource Integrity adoption (Figure 10: 99.7% of sites have at
+  least one unprotected external library),
+* crossorigin configuration,
+* GitHub-hosted libraries (Table 6),
+* the served-file hash audit against official distributions (Section 9).
+
+Usage::
+
+    python examples/sri_audit.py [population]
+"""
+
+import sys
+
+from repro import ScenarioConfig, Study
+from repro.reporting import Table
+
+
+def main() -> None:
+    population = int(sys.argv[1]) if len(sys.argv) > 1 else 1_000
+    study = Study(ScenarioConfig(population=population))
+    study.run()
+
+    sri = study.sri()
+    print(
+        f"sites with >=1 external library missing integrity: "
+        f"{sri.average_missing_share:.1%} (paper: 99.7%)"
+    )
+    print("crossorigin values among SRI-protected inclusions:")
+    for value, share in sri.crossorigin_shares.items():
+        print(f"  {value or '(empty)':16s} {share:.1%}")
+    print()
+
+    untrusted = study.untrusted()
+    print(
+        f"sites loading libraries from VCS hosting (weekly avg): "
+        f"{untrusted.average_sites:,.1f}; with SRI: "
+        f"{untrusted.integrity_share:.1%} (paper: 0.6%)"
+    )
+    table = Table(["GitHub host", "sites"], title="Table 6 — VCS-hosted libraries")
+    for row in untrusted.rows[:10]:
+        table.add_row(row.host, row.site_count)
+    print(table.render())
+    print()
+
+    audit = study.hash_audit(max_domains=150)
+    print(
+        f"hash audit: {audit.files_checked} self-hosted library files "
+        f"checked, {audit.mismatch_count} hash mismatches, all benign "
+        f"whitespace/comment edits: {audit.all_mismatches_benign} "
+        f"(the paper found no hand-patched libraries either)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+``pip install -e .`` requires the ``wheel`` package to build editable
+installs under PEP 517; on offline machines without ``wheel`` this shim
+lets ``python setup.py develop`` provide the same editable install.
+"""
+
+from setuptools import setup
+
+setup()

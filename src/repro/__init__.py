@@ -1,0 +1,58 @@
+"""repro — reproduction of the IMC '23 study of vulnerable client-side
+web resources and developers' updating behaviors.
+
+The package rebuilds the paper's entire measurement pipeline against a
+calibrated synthetic web ecosystem (the four-year Alexa-1M crawl is not
+recoverable): virtual network, weekly crawler, Wappalyzer-style
+fingerprinting, CVE knowledge base with True Vulnerable Versions, a PoC
+validation lab, and per-section analyses regenerating every table and
+figure.
+
+Quickstart::
+
+    from repro import Study, ScenarioConfig
+
+    study = Study(ScenarioConfig(population=2000))
+    study.run()
+    for line in study.results().summary_lines():
+        print(line)
+"""
+
+from .config import (
+    AccessibilityConfig,
+    BehaviorMix,
+    FlashConfig,
+    PlatformConfig,
+    ScenarioConfig,
+    SecurityHygieneConfig,
+    default_scenario,
+    small_scenario,
+)
+from .advisor import SiteScanner
+from .core import Study, StudyResults
+from .errors import ReproError
+from .timeline import StudyCalendar, Week, default_calendar
+from .vulndb import MatchMode, default_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Study",
+    "StudyResults",
+    "SiteScanner",
+    "ScenarioConfig",
+    "BehaviorMix",
+    "PlatformConfig",
+    "AccessibilityConfig",
+    "FlashConfig",
+    "SecurityHygieneConfig",
+    "default_scenario",
+    "small_scenario",
+    "StudyCalendar",
+    "Week",
+    "default_calendar",
+    "MatchMode",
+    "default_database",
+    "ReproError",
+    "__version__",
+]

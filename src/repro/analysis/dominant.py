@@ -1,0 +1,133 @@
+"""Section 6.3: dominant insecure versions and discontinued libraries.
+
+Reproduces: the per-library dominant version with its vulnerability
+count (jQuery 1.12.4 with four CVEs), the persistence of those versions
+over time, discontinued projects still in use (jQuery-Cookie,
+SWFObject), and the jQuery-Cookie → JS-Cookie migration share (the
+paper: only 39% migrated after seven years).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..crawler.store import ObservationStore
+from ..vulndb import MatchMode, VersionMatcher
+
+
+@dataclasses.dataclass
+class DominantVersion:
+    """The most-used version of a library and its security state."""
+
+    library: str
+    version: Optional[str]
+    share_of_users: float
+    cve_count: int
+    tvv_count: int
+    share_series: List[float]
+
+
+@dataclasses.dataclass
+class DiscontinuedUsage:
+    """Usage of a no-longer-maintained project."""
+
+    library: str
+    average_users: float
+    average_share: float
+    final_share: float
+
+
+@dataclasses.dataclass
+class MigrationResult:
+    """jQuery-Cookie -> JS-Cookie migration (Section 6.3)."""
+
+    ever_used_legacy: int
+    migrated: int
+
+    @property
+    def migration_share(self) -> float:
+        if self.ever_used_legacy == 0:
+            return 0.0
+        return self.migrated / self.ever_used_legacy
+
+
+def dominant_versions(
+    store: ObservationStore,
+    matcher: VersionMatcher,
+    libraries: Tuple[str, ...],
+) -> List[DominantVersion]:
+    """Dominant version per library with its vulnerability counts."""
+    results: List[DominantVersion] = []
+    for library in libraries:
+        versions = store.observed_versions(library)
+        if not versions:
+            results.append(
+                DominantVersion(
+                    library=library,
+                    version=None,
+                    share_of_users=0.0,
+                    cve_count=0,
+                    tvv_count=0,
+                    share_series=[],
+                )
+            )
+            continue
+        dominant = versions[0]
+        counts = store.version_series(library, dominant)
+        users = store.library_series(library)
+        shares = [c / max(u, 1) for c, u in zip(counts, users)]
+        total_users = sum(users)
+        results.append(
+            DominantVersion(
+                library=library,
+                version=dominant,
+                share_of_users=sum(counts) / max(total_users, 1),
+                cve_count=matcher.count(library, dominant, MatchMode.CVE),
+                tvv_count=matcher.count(library, dominant, MatchMode.TVV),
+                share_series=shares,
+            )
+        )
+    return results
+
+
+def discontinued_usage(
+    store: ObservationStore,
+    libraries: Tuple[str, ...] = ("jquery-cookie", "swfobject"),
+) -> List[DiscontinuedUsage]:
+    """Usage of discontinued projects (paper: 2.1% of sites combined)."""
+    results = []
+    for library in libraries:
+        aggregates = store.ordered_weeks()
+        users = [agg.library_users.get(library, 0) for agg in aggregates]
+        shares = [u / max(agg.collected, 1) for u, agg in zip(users, aggregates)]
+        results.append(
+            DiscontinuedUsage(
+                library=library,
+                average_users=sum(users) / max(len(users), 1),
+                average_share=sum(shares) / max(len(shares), 1),
+                final_share=shares[-1] if shares else 0.0,
+            )
+        )
+    return results
+
+
+def cookie_migration(store: ObservationStore) -> MigrationResult:
+    """How many jQuery-Cookie sites migrated to JS-Cookie.
+
+    A site counts as migrated when its trajectory shows jQuery-Cookie
+    disappearing while JS-Cookie appears (at any point in the study).
+    """
+    ever_legacy = 0
+    migrated = 0
+    for rank, libs in store.trajectories.items():
+        legacy = libs.get("jquery-cookie")
+        if not legacy:
+            continue
+        ever_legacy += 1
+        successor = libs.get("js-cookie")
+        if successor:
+            first_successor_week = successor[0][0]
+            if first_successor_week >= legacy[0][0]:
+                migrated += 1
+    return MigrationResult(ever_used_legacy=ever_legacy, migrated=migrated)

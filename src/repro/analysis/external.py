@@ -1,0 +1,109 @@
+"""Section 6.5: externally hosted libraries and their (missing) defenses.
+
+* **Figure 10** — sites with at least one externally hosted library
+  lacking the ``integrity`` attribute (paper: 99.7%).
+* **crossorigin usage** — among integrity-carrying inclusions, the split
+  of ``anonymous`` (97.1%) vs ``use-credentials`` (1.9%).
+* **Table 6** — libraries served straight from collaborative-VCS hosts,
+  per repository, and the near-total absence of SRI there (0.6%).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from ..crawler.store import ObservationStore
+
+
+@dataclasses.dataclass
+class SriResult:
+    """Figure 10 + crossorigin statistics."""
+
+    dates: List[str]
+    sites_with_external: List[int]
+    sites_without_integrity: List[int]
+    #: average share of external-library sites missing SRI somewhere
+    average_missing_share: float
+    #: crossorigin value -> share among integrity-carrying inclusions
+    crossorigin_shares: Dict[str, float]
+
+
+@dataclasses.dataclass
+class UntrustedHostRow:
+    """One Table 6 row: a VCS host and the sites loading from it."""
+
+    host: str
+    site_count: int
+    share_of_untrusted_sites: float
+
+
+@dataclasses.dataclass
+class UntrustedResult:
+    """Table 6 + the GitHub-SRI statistic."""
+
+    average_sites: float
+    rows: List[UntrustedHostRow]
+    top_urls: List[Tuple[str, int]]
+    average_sites_with_integrity: float
+
+    @property
+    def integrity_share(self) -> float:
+        if self.average_sites == 0:
+            return 0.0
+        return self.average_sites_with_integrity / self.average_sites
+
+
+def sri_adoption(store: ObservationStore) -> SriResult:
+    """Figure 10 and the crossorigin split."""
+    aggregates = store.ordered_weeks()
+    with_external = [agg.sites_with_external for agg in aggregates]
+    without = [agg.sites_external_no_integrity for agg in aggregates]
+    shares = [
+        w / max(e, 1) for w, e in zip(without, with_external)
+    ]
+    crossorigin_totals: Dict[str, int] = {}
+    for agg in aggregates:
+        for value, count in agg.crossorigin_values.items():
+            crossorigin_totals[value] = crossorigin_totals.get(value, 0) + count
+    total_crossorigin = sum(crossorigin_totals.values())
+    return SriResult(
+        dates=[agg.week.date.isoformat() for agg in aggregates],
+        sites_with_external=with_external,
+        sites_without_integrity=without,
+        average_missing_share=sum(shares) / max(len(shares), 1),
+        crossorigin_shares={
+            value: count / max(total_crossorigin, 1)
+            for value, count in sorted(
+                crossorigin_totals.items(), key=lambda kv: -kv[1]
+            )
+        },
+    )
+
+
+def untrusted_hosting(store: ObservationStore, top: int = 20) -> UntrustedResult:
+    """Table 6: VCS-hosted library usage."""
+    average_sites = store.average(lambda agg: agg.untrusted_sites)
+    average_with_integrity = store.average(
+        lambda agg: agg.untrusted_sites_with_integrity
+    )
+    total_sites = sum(len(s) for s in store.untrusted_site_sets.values())
+    rows = [
+        UntrustedHostRow(
+            host=host,
+            site_count=len(sites),
+            share_of_untrusted_sites=len(sites) / max(total_sites, 1),
+        )
+        for host, sites in sorted(
+            store.untrusted_site_sets.items(), key=lambda kv: -len(kv[1])
+        )[:top]
+    ]
+    top_urls = sorted(
+        store.untrusted_url_counts.items(), key=lambda kv: -kv[1]
+    )[:top]
+    return UntrustedResult(
+        average_sites=average_sites,
+        rows=rows,
+        top_urls=top_urls,
+        average_sites_with_integrity=average_with_integrity,
+    )

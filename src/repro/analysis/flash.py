@@ -1,0 +1,172 @@
+"""Section 8 / RQ4: insecure Adobe Flash.
+
+* **Figure 8** — Flash usage over time by popularity tier, with the
+  post-EOL persistent cohort (paper: average 3,553 sites after EOL).
+* **Figure 11** — ``AllowScriptAccess`` usage and the insecure
+  ``always`` option (average 24.7% of Flash sites, growing ~21% → ~30%).
+* **Table 3** — the desktop-browser Flash-support matrix (only the 360
+  Browser still plays Flash).
+* **Top-10K case study** — surviving Flash sites among popular domains,
+  visibility of the embeds, and operator country (four of thirteen were
+  Chinese in the paper, tied to the flash.cn ecosystem).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+from typing import Dict, List, Optional, Tuple
+
+from ..crawler.store import ObservationStore
+from ..vulndb.flash_data import FLASH_END_OF_LIFE
+
+#: Table 3: top-10 desktop browsers, market share (Apr 2022 – Apr 2023),
+#: and whether they still support Flash (manually tested in the paper).
+BROWSER_FLASH_SUPPORT: Tuple[Tuple[str, float, bool], ...] = (
+    ("Chrome", 66.45, False),
+    ("Edge", 10.80, False),
+    ("Safari", 9.59, False),
+    ("Firefox", 7.16, False),
+    ("Opera", 3.09, False),
+    ("IE", 0.81, False),
+    ("360 Browser", 0.66, True),
+    ("Yandex Browser", 0.39, False),
+    ("QQ Browser", 0.20, False),
+    ("Edge Legacy", 0.16, False),
+)
+
+
+@dataclasses.dataclass
+class FlashUsageResult:
+    """Figure 8 data."""
+
+    dates: List[str]
+    total: List[int]
+    top1k: List[int]
+    top10k: List[int]
+    eol_index: int
+
+    @property
+    def average_after_eol(self) -> float:
+        values = self.total[self.eol_index:]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def start_count(self) -> int:
+        return self.total[0] if self.total else 0
+
+    @property
+    def end_count(self) -> int:
+        return self.total[-1] if self.total else 0
+
+
+@dataclasses.dataclass
+class ScriptAccessResult:
+    """Figure 11 data."""
+
+    dates: List[str]
+    flash_sites: List[int]
+    specified: List[int]
+    always: List[int]
+
+    @property
+    def average_always_share(self) -> float:
+        shares = [
+            a / max(f, 1) for a, f in zip(self.always, self.flash_sites)
+        ]
+        return sum(shares) / len(shares) if shares else 0.0
+
+    def always_share_at(self, index: int) -> float:
+        if not self.flash_sites:
+            return 0.0
+        return self.always[index] / max(self.flash_sites[index], 1)
+
+
+@dataclasses.dataclass
+class CaseStudyRow:
+    """One surviving popular Flash site."""
+
+    rank: int
+    domain: str
+    visible: bool
+    country: str
+
+
+def flash_usage(store: ObservationStore) -> FlashUsageResult:
+    """Figure 8 from the observation store."""
+    aggregates = store.ordered_weeks()
+    eol_index = 0
+    for index, agg in enumerate(aggregates):
+        if agg.week.date >= FLASH_END_OF_LIFE:
+            eol_index = index
+            break
+    return FlashUsageResult(
+        dates=[agg.week.date.isoformat() for agg in aggregates],
+        total=[agg.flash_sites for agg in aggregates],
+        top1k=[agg.flash_by_tier.get("top1k", 0) for agg in aggregates],
+        top10k=[
+            agg.flash_by_tier.get("top1k", 0) + agg.flash_by_tier.get("top10k", 0)
+            for agg in aggregates
+        ],
+        eol_index=eol_index,
+    )
+
+
+def script_access(store: ObservationStore) -> ScriptAccessResult:
+    """Figure 11 from the observation store."""
+    aggregates = store.ordered_weeks()
+    return ScriptAccessResult(
+        dates=[agg.week.date.isoformat() for agg in aggregates],
+        flash_sites=[agg.flash_sites for agg in aggregates],
+        specified=[agg.flash_access_specified for agg in aggregates],
+        always=[agg.flash_access_always for agg in aggregates],
+    )
+
+
+_COUNTRY_BY_TLD = {
+    ".cn": "China",
+    ".ru": "Russia",
+    ".jp": "Japan",
+    ".de": "Germany",
+}
+
+
+def top10k_case_study(
+    store: ObservationStore, population, ecosystem=None
+) -> List[CaseStudyRow]:
+    """Surviving post-EOL Flash sites among the top 10K domains.
+
+    Args:
+        store: Observation store (flash spans drive survival detection).
+        population: The scenario's :class:`DomainPopulation`.
+        ecosystem: Optional ecosystem for embed-visibility ground truth.
+    """
+    last_ordinal = store.calendar.last.ordinal
+    rows: List[CaseStudyRow] = []
+    for rank, (first, last) in sorted(store.flash_spans.items()):
+        if rank > 10_000:
+            continue
+        # Survived to (nearly) the end of the study.
+        if last < last_ordinal - 8:
+            continue
+        domain = population[rank - 1]
+        visible = True
+        if ecosystem is not None:
+            manifest = ecosystem.manifest(domain, last)
+            if manifest.flash is not None:
+                visible = manifest.flash.visible
+        tld = "." + domain.name.rsplit(".", 1)[-1]
+        rows.append(
+            CaseStudyRow(
+                rank=rank,
+                domain=domain.name,
+                visible=visible,
+                country=_COUNTRY_BY_TLD.get(tld, "Other"),
+            )
+        )
+    return rows
+
+
+def flash_supporting_browsers() -> List[str]:
+    """Browsers that still play Flash (Table 3; the 360 Browser)."""
+    return [name for name, _, supported in BROWSER_FLASH_SUPPORT if supported]

@@ -1,0 +1,153 @@
+"""Section 6.1 / Table 1 / Figure 3 / Table 5: the library landscape.
+
+Reproduces, per library: average usage (count and share), the
+internal/external inclusion split, the CDN share of external inclusions,
+the top CDN hosts (Table 5), the dominant version, and the number of
+reported vulnerabilities — plus the Figure 3 usage-trend series
+(including the jQuery-Migrate dip of Aug–Dec 2020).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..crawler.store import ObservationStore
+from ..vulndb import VulnerabilityDatabase
+from ..webgen.libraries import TOP15_ORDER
+
+
+@dataclasses.dataclass
+class LibraryRow:
+    """One row of Table 1."""
+
+    library: str
+    average_users: float
+    usage_share: float
+    internal_share: float
+    external_share: float
+    cdn_share_of_external: float
+    dominant_version: Optional[str]
+    dominant_version_share: float
+    latest_observed: Optional[str]
+    versions_found: int
+    vulnerability_count: int
+
+
+@dataclasses.dataclass
+class LandscapeResult:
+    """Table 1 + Figure 3 + Table 5 data."""
+
+    rows: List[LibraryRow]
+    #: library -> weekly usage-share series (Figure 3)
+    usage_series: Dict[str, List[float]]
+    #: library -> [(cdn host, share of external inclusions)] (Table 5)
+    top_cdns: Dict[str, List[Tuple[str, float]]]
+    dates: List[str]
+
+    def row(self, library: str) -> LibraryRow:
+        for row in self.rows:
+            if row.library == library:
+                return row
+        raise KeyError(library)
+
+
+def _dominant_version(
+    store: ObservationStore, library: str
+) -> Tuple[Optional[str], float, Optional[str], int]:
+    """(dominant version, its share of users, latest observed, #versions)."""
+    totals: Dict[str, int] = {}
+    user_total = 0
+    for agg in store.ordered_weeks():
+        user_total += agg.library_users.get(library, 0)
+        for (lib, version), count in agg.version_counts.items():
+            if lib == library:
+                totals[version] = totals.get(version, 0) + count
+    if not totals:
+        return None, 0.0, None, 0
+    dominant, count = max(totals.items(), key=lambda kv: kv[1])
+    from ..semver import parse_version
+    from ..errors import VersionError
+
+    latest = None
+    try:
+        latest = max(totals, key=lambda v: parse_version(v))
+    except VersionError:  # pragma: no cover - generated versions parse
+        pass
+    return dominant, count / max(user_total, 1), latest, len(totals)
+
+
+def analyze(
+    store: ObservationStore,
+    database: VulnerabilityDatabase,
+    libraries: Tuple[str, ...] = TOP15_ORDER,
+    top_cdn_count: int = 3,
+) -> LandscapeResult:
+    """Build Table 1 / Figure 3 / Table 5 from the observation store."""
+    aggregates = store.ordered_weeks()
+    dates = [agg.week.date.isoformat() for agg in aggregates]
+    rows: List[LibraryRow] = []
+    usage_series: Dict[str, List[float]] = {}
+    top_cdns: Dict[str, List[Tuple[str, float]]] = {}
+
+    for library in libraries:
+        users = [agg.library_users.get(library, 0) for agg in aggregates]
+        shares = [
+            u / max(agg.collected, 1) for u, agg in zip(users, aggregates)
+        ]
+        usage_series[library] = shares
+        average_users = sum(users) / max(len(users), 1)
+        usage_share = sum(shares) / max(len(shares), 1)
+
+        internal = sum(agg.internal_counts.get(library, 0) for agg in aggregates)
+        external = sum(agg.external_counts.get(library, 0) for agg in aggregates)
+        via_cdn = sum(agg.cdn_counts.get(library, 0) for agg in aggregates)
+        inclusions = max(internal + external, 1)
+
+        cdn_host_totals: Dict[str, int] = {}
+        for agg in aggregates:
+            for host, count in agg.cdn_hosts.get(library, {}).items():
+                cdn_host_totals[host] = cdn_host_totals.get(host, 0) + count
+        ranked_hosts = sorted(cdn_host_totals.items(), key=lambda kv: -kv[1])
+        top_cdns[library] = [
+            (host, count / max(external, 1)) for host, count in ranked_hosts[:top_cdn_count]
+        ]
+
+        dominant, dom_share, latest, n_versions = _dominant_version(store, library)
+        rows.append(
+            LibraryRow(
+                library=library,
+                average_users=average_users,
+                usage_share=usage_share,
+                internal_share=internal / inclusions,
+                external_share=external / inclusions,
+                cdn_share_of_external=via_cdn / max(external, 1),
+                dominant_version=dominant,
+                dominant_version_share=dom_share,
+                latest_observed=latest,
+                versions_found=n_versions,
+                vulnerability_count=len(database.for_library(library)),
+            )
+        )
+
+    rows.sort(key=lambda r: -r.average_users)
+    return LandscapeResult(
+        rows=rows, usage_series=usage_series, top_cdns=top_cdns, dates=dates
+    )
+
+
+def migrate_dip(result: LandscapeResult) -> Tuple[float, float, float]:
+    """The jQuery-Migrate usage dip (Figure 3(a)).
+
+    Returns:
+        ``(share before Aug 2020, minimum share Aug–Dec 2020, share after
+        Dec 2020)`` — the paper observed roughly a 10-percentage-point
+        drop and recovery.
+    """
+    shares = result.usage_series.get("jquery-migrate", [])
+    dates = result.dates
+    before = [s for s, d in zip(shares, dates) if "2020-06" <= d < "2020-08"]
+    during = [s for s, d in zip(shares, dates) if "2020-09" <= d < "2020-12"]
+    after = [s for s, d in zip(shares, dates) if "2021-01" <= d < "2021-04"]
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+    return mean(before), min(during) if during else 0.0, mean(after)

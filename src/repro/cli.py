@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro run [--population N] [--seed S] [--save-store FILE] [--full]
+        Build a scenario, crawl all 201 weeks, print the study report.
+
+    repro scan FILE [--url URL]
+        Fingerprint a local HTML file and print prioritized findings
+        (the Section 9 recommendations as a scanner).
+
+    repro validate
+        Run the PoC lab sweep over every advisory and print the Table 2
+        verdicts.
+
+Also usable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from . import ScenarioConfig, Study
+    from .reporting import StudyReport
+
+    config = ScenarioConfig(population=args.population, seed=args.seed)
+    study = Study(config, mode="full" if args.full else "manifest")
+    report = study.run()
+    print(
+        f"crawled {report.domains_crawled:,} domains x "
+        f"{report.weeks_crawled} weeks -> {report.pages_collected:,} pages",
+        file=sys.stderr,
+    )
+    print(StudyReport(study).render())
+    if args.save_store:
+        from .crawler.persistence import save_store
+
+        save_store(study.store, args.save_store)
+        print(f"store saved to {args.save_store}", file=sys.stderr)
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .advisor import SiteScanner
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    html = path.read_text(errors="replace")
+    url = args.url or f"https://{path.stem}.example/"
+    report = SiteScanner().scan_html(html, url)
+    print(report.summary_line())
+    for finding in report.findings:
+        flags = ""
+        if finding.exploitable:
+            flags += " [EXPLOITABLE]"
+        if finding.undisclosed:
+            flags += " [UNDISCLOSED-BY-CVE]"
+        print(f"{finding.severity.name:8s} {finding.rule:22s} {finding.title}{flags}")
+        print(f"{'':8s} -> {finding.remediation}")
+    return 1 if report.findings else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .poclab import ValidationLab
+    from .reporting import Table
+    from .vulndb import default_database
+
+    lab = ValidationLab(default_database())
+    table = Table(
+        ["advisory", "library", "stated", "verdict", "+revealed", "-exonerated"],
+        title="PoC validation sweep",
+    )
+    for verdict in lab.classify_all():
+        table.add_row(
+            verdict.advisory.identifier,
+            verdict.advisory.library,
+            verdict.advisory.stated_range.describe(),
+            verdict.verdict.value,
+            len(verdict.newly_revealed),
+            len(verdict.exonerated),
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for the IMC'23 client-side "
+        "resource study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a full study and print the report")
+    run.add_argument("--population", type=int, default=2_000)
+    run.add_argument("--seed", type=int, default=20230926)
+    run.add_argument("--save-store", metavar="FILE", default=None)
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="crawl over HTTP + fingerprint HTML instead of the fast path",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    scan = sub.add_parser("scan", help="scan one HTML file for findings")
+    scan.add_argument("file")
+    scan.add_argument("--url", default=None, help="page URL for origin checks")
+    scan.set_defaults(func=_cmd_scan)
+
+    validate = sub.add_parser("validate", help="run the PoC lab sweep")
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Orchestration: the top-level :class:`Study` API.
+
+``Study`` ties the whole reproduction together: build the ecosystem,
+run the (filtered) weekly crawl, and expose every analysis as a method.
+"""
+
+from .study import Study
+from .results import StudyResults
+
+__all__ = ["Study", "StudyResults"]

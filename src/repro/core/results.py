@@ -1,0 +1,55 @@
+"""Headline result container for one study run."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..vulndb import MatchMode
+
+
+@dataclasses.dataclass
+class StudyResults:
+    """The paper's headline numbers, as measured on this run.
+
+    All shares are fractions of weekly collected sites averaged over the
+    study; counts are absolute for this run's population (scale by
+    ``scale_factor`` for paper-sized numbers).
+    """
+
+    population: int
+    scale_factor: float
+    average_weekly_collected: float
+    vulnerable_share: Dict[MatchMode, float]
+    mean_vulns_per_site: Dict[MatchMode, float]
+    jquery_usage_share: float
+    wordpress_share: float
+    flash_average_after_eol: float
+    sri_missing_share: float
+    mean_update_delay_days: float
+    updated_sites: int
+    incorrect_cves: int
+    total_cves: int
+
+    def summary_lines(self) -> list:
+        """Human-readable headline summary."""
+        fmt = lambda f: f"{f * 100:.1f}%"
+        return [
+            f"population: {self.population:,} domains "
+            f"(paper scale x{self.scale_factor:.1f})",
+            f"avg collected/week: {self.average_weekly_collected:,.0f}",
+            f"sites with >=1 vulnerable library (CVE ranges): "
+            f"{fmt(self.vulnerable_share[MatchMode.CVE])} (paper: 41.2%)",
+            f"sites with >=1 vulnerable library (TVV ranges): "
+            f"{fmt(self.vulnerable_share[MatchMode.TVV])} (paper: 43.2%)",
+            f"jQuery usage: {fmt(self.jquery_usage_share)} (paper: 64.0%)",
+            f"WordPress share: {fmt(self.wordpress_share)} (paper: 26.9%)",
+            f"Flash sites after EOL (avg): {self.flash_average_after_eol:,.0f} "
+            f"(paper: 3,553 at 782k scale)",
+            f"sites with external lib missing SRI: {fmt(self.sri_missing_share)} "
+            f"(paper: 99.7%)",
+            f"mean update delay: {self.mean_update_delay_days:,.0f} days "
+            f"(paper: 531.2)",
+            f"incorrect CVE ranges: {self.incorrect_cves}/{self.total_cves} "
+            f"(paper: 13/27)",
+        ]

@@ -1,0 +1,26 @@
+"""The weekly crawler (Section 4).
+
+Reproduces the paper's collection pipeline against the virtual network:
+fetch every domain's landing page each kept week, filter inaccessible
+domains (error pages or <400-byte bodies for the four consecutive weeks
+of the last month), fingerprint the survivors, and aggregate into an
+:class:`ObservationStore` the analyses read.
+
+Public API: :class:`Fetcher`, :class:`Crawler`, :class:`CrawlReport`,
+:class:`ObservationStore`, :class:`AccessibilityFilter`.
+"""
+
+from .fetch import FetchResult, Fetcher
+from .store import ObservationStore, WeekAggregate
+from .filtering import AccessibilityFilter
+from .crawl import Crawler, CrawlReport
+
+__all__ = [
+    "Fetcher",
+    "FetchResult",
+    "ObservationStore",
+    "WeekAggregate",
+    "AccessibilityFilter",
+    "Crawler",
+    "CrawlReport",
+]

@@ -1,0 +1,229 @@
+"""The main weekly crawl loop (Section 4.1).
+
+Two operating modes exercise the same downstream pipeline:
+
+* ``full`` — honest end-to-end path: HTTP GET each landing page over the
+  virtual network, fingerprint the returned HTML.  This is what the
+  paper's crawler did.
+* ``manifest`` — fast path for large populations: read the ecosystem's
+  ground-truth manifest and *render + fingerprint nothing*, producing the
+  identical :class:`PageProfile` the full path would (an equivalence that
+  the test suite verifies page-by-page on samples).  Reachability and
+  the accessibility filter still apply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..config import ScenarioConfig
+from ..errors import CrawlError
+from ..fingerprint import (
+    FingerprintEngine,
+    FlashEmbed,
+    LibraryDetection,
+    PageProfile,
+    ScriptAccess,
+)
+from ..timeline import Week
+from ..vulndb import VersionMatcher, default_database
+from ..webgen.domains import Domain, Reachability
+from ..webgen.ecosystem import WebEcosystem
+from ..webgen.html import script_url
+from ..webgen.site import SiteManifest
+from .fetch import Fetcher, FetchOutcome
+from .filtering import AccessibilityFilter, FilterReport
+from .store import ObservationStore
+
+
+@dataclasses.dataclass
+class CrawlReport:
+    """Summary of one crawl run."""
+
+    weeks_crawled: int
+    domains_crawled: int
+    pages_collected: int
+    fetch_failures: int
+    filter_report: Optional[FilterReport]
+
+    @property
+    def average_weekly_collected(self) -> float:
+        if self.weeks_crawled == 0:
+            return 0.0
+        return self.pages_collected / self.weeks_crawled
+
+
+def profile_from_manifest(manifest: SiteManifest, engine: FingerprintEngine) -> PageProfile:
+    """Build the PageProfile the engine would produce, from ground truth.
+
+    This mirrors the fingerprint engine's semantics exactly; the test
+    suite asserts equality against the full render + fingerprint path.
+    """
+    detections: List[LibraryDetection] = []
+    for inclusion in manifest.libraries:
+        url = script_url(inclusion, manifest.wordpress_version)
+        detections.append(
+            LibraryDetection(
+                library=inclusion.library,
+                version=inclusion.version if inclusion.version_visible else None,
+                source_url=url,
+                host=inclusion.host or manifest.domain.name,
+                external=inclusion.external,
+                cdn_host=(
+                    engine.cdn_catalog.match(inclusion.host)
+                    if inclusion.external
+                    else None
+                ),
+                untrusted_host=False,
+                has_integrity=inclusion.integrity,
+                crossorigin=inclusion.crossorigin,
+                evidence="manifest",
+            )
+        )
+
+    untrusted = []
+    for extra in manifest.extra_scripts:
+        host = extra.url.split("//", 1)[1].split("/", 1)[0].lower()
+        untrusted.append((host, extra.url, extra.integrity))
+
+    flash_embeds = ()
+    if manifest.flash is not None:
+        flash = manifest.flash
+        flash_embeds = (
+            FlashEmbed(
+                swf_url=flash.swf_url,
+                tag="object" if manifest.domain.rank % 10 < 7 else "embed",
+                script_access=(
+                    ScriptAccess.parse(flash.script_access)
+                    if flash.script_access
+                    else None
+                ),
+                script_access_specified=flash.specified,
+                external=flash.external,
+                visible=flash.visible,
+            ),
+        )
+
+    resource_types = set(manifest.resource_types)
+    return PageProfile(
+        page_host=manifest.domain.name,
+        resource_types=frozenset(resource_types),
+        libraries=tuple(detections),
+        flash_embeds=flash_embeds,
+        wordpress_version=manifest.wordpress_version,
+        script_count=len(detections) + len(untrusted),
+        external_script_count=sum(1 for d in detections if d.external) + len(untrusted),
+        untrusted_scripts=tuple(untrusted),
+    )
+
+
+class Crawler:
+    """Runs the weekly collection over a scenario's ecosystem.
+
+    Args:
+        ecosystem: The built web ecosystem.
+        store: Destination for fingerprinted observations; when omitted a
+            fresh store with the default vulnerability database is used.
+        engine: Fingerprint engine (``full`` mode).
+        mode: ``"full"`` or ``"manifest"`` (see module docstring).
+        apply_filter: Run the paper's accessibility prefilter.
+    """
+
+    def __init__(
+        self,
+        ecosystem: WebEcosystem,
+        store: Optional[ObservationStore] = None,
+        engine: Optional[FingerprintEngine] = None,
+        mode: str = "full",
+        apply_filter: bool = True,
+    ) -> None:
+        if mode not in ("full", "manifest"):
+            raise CrawlError(f"unknown crawl mode {mode!r}")
+        self.ecosystem = ecosystem
+        self.engine = engine or FingerprintEngine()
+        if store is None:
+            matcher = VersionMatcher(default_database())
+            store = ObservationStore(ecosystem.calendar, matcher)
+        self.store = store
+        self.mode = mode
+        self.apply_filter = apply_filter
+
+    # ------------------------------------------------------------------
+    def run(self, weeks: Optional[Sequence[Week]] = None) -> CrawlReport:
+        """Crawl the given weeks (default: the whole calendar)."""
+        ecosystem = self.ecosystem
+        calendar = ecosystem.calendar
+        target_weeks: Sequence[Week] = weeks if weeks is not None else calendar.weeks
+
+        filter_report: Optional[FilterReport] = None
+        retained: Optional[Set[str]] = None
+        if self.apply_filter:
+            accessibility = AccessibilityFilter(
+                ecosystem,
+                empty_page_threshold=ecosystem.config.accessibility.empty_page_threshold,
+            )
+            retained, filter_report = accessibility.run()
+
+        domains: List[Domain] = [
+            d
+            for d in ecosystem.population
+            if retained is None or d.name in retained
+        ]
+
+        fetcher = Fetcher(ecosystem.network)
+        threshold = ecosystem.config.accessibility.empty_page_threshold
+        pages = 0
+        failures = 0
+        for week in target_weeks:
+            ecosystem.set_week(week.ordinal)
+            for domain in domains:
+                if self.mode == "manifest":
+                    if not self._reachable_fast(domain, week.ordinal):
+                        failures += 1
+                        continue
+                    manifest = ecosystem.manifest(domain, week.ordinal)
+                    profile = profile_from_manifest(manifest, self.engine)
+                else:
+                    result = fetcher.fetch_domain(domain.name)
+                    if not result.ok or result.size < threshold:
+                        failures += 1
+                        continue
+                    profile = self.engine.fingerprint(
+                        result.text, f"https://{domain.name}/"
+                    )
+                self.store.ingest(domain, week, profile)
+                pages += 1
+
+        return CrawlReport(
+            weeks_crawled=len(target_weeks),
+            domains_crawled=len(domains),
+            pages_collected=pages,
+            fetch_failures=failures,
+            filter_report=filter_report,
+        )
+
+    # ------------------------------------------------------------------
+    def _reachable_fast(self, domain: Domain, ordinal: int) -> bool:
+        """Manifest-mode reachability mirroring the full path's outcome.
+
+        Dead/dying domains and anti-bot blockers never contribute pages;
+        flaky domains drop out per the deterministic failure schedule
+        (approximated by the same per-week draw the network would make
+        for the first request, including one retry).
+        """
+        if not domain.alive_at(ordinal):
+            return False
+        if domain.reachability is Reachability.ANTIBOT:
+            return False
+        if domain.reachability is Reachability.FLAKY:
+            failures = self.ecosystem.network.failures
+            first = failures.outcome(domain.name, ordinal, 0)
+            if first == "ok":
+                return True
+            second = failures.outcome(domain.name, ordinal, 1)
+            return second == "ok"
+        return True
+    # NOTE: server_error (5xx) is not modelled for flaky domains'
+    # fast path because the default scenario assigns them only
+    # connect/timeout failure rates.

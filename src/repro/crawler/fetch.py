@@ -1,0 +1,141 @@
+"""Landing-page fetcher: one HTTP GET with retries and redirects.
+
+The paper's Go crawler visited each domain over HTTPS with ``net/http``
+semantics; this fetcher mirrors the relevant behaviour on the virtual
+network: redirect following (bounded), one retry on transient transport
+failures, and a normalized :class:`FetchResult` for every outcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from ..errors import (
+    ConnectionFailed,
+    DNSError,
+    NetworkError,
+    RequestTimeout,
+    TooManyRedirects,
+)
+from ..netsim import HttpRequest, HttpResponse, VirtualNetwork, parse_url
+from ..netsim.url import Url, urljoin
+
+
+class FetchOutcome(enum.Enum):
+    """Terminal classification of one fetch attempt."""
+
+    OK = "ok"
+    HTTP_ERROR = "http-error"
+    DNS_FAILURE = "dns-failure"
+    CONNECT_FAILURE = "connect-failure"
+    TIMEOUT = "timeout"
+    REDIRECT_LOOP = "redirect-loop"
+
+
+@dataclasses.dataclass
+class FetchResult:
+    """What one landing-page fetch produced."""
+
+    url: str
+    outcome: FetchOutcome
+    status: Optional[int] = None
+    body: bytes = b""
+    final_url: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is FetchOutcome.OK
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8", errors="replace")
+
+
+class Fetcher:
+    """Fetches landing pages over a :class:`VirtualNetwork`.
+
+    Args:
+        network: The virtual network to send requests on.
+        max_redirects: Redirect-chain bound before giving up.
+        retries: Extra attempts after a transient transport failure.
+        timeout: Per-request timeout (seconds, simulated).
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        max_redirects: int = 5,
+        retries: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        self.network = network
+        self.max_redirects = max_redirects
+        self.retries = retries
+        self.timeout = timeout
+
+    def _send_following_redirects(self, url: Url) -> HttpResponse:
+        current = url
+        for _ in range(self.max_redirects + 1):
+            response = self.network.send(
+                HttpRequest(url=current, timeout=self.timeout)
+            )
+            if not response.is_redirect:
+                return response
+            target = response.redirect_target()
+            if not target:
+                return response
+            current = urljoin(current, target)
+        raise TooManyRedirects(f"redirect chain exceeded {self.max_redirects}")
+
+    def fetch(self, url: str) -> FetchResult:
+        """Fetch one URL, retrying transient transport failures once.
+
+        Never raises for network-level failures; every outcome is encoded
+        in the returned :class:`FetchResult`.
+        """
+        parsed = parse_url(url)
+        attempts = 0
+        last_transient: Optional[FetchOutcome] = None
+        while attempts <= self.retries:
+            attempts += 1
+            try:
+                response = self._send_following_redirects(parsed)
+            except DNSError:
+                return FetchResult(
+                    url=url, outcome=FetchOutcome.DNS_FAILURE, attempts=attempts
+                )
+            except RequestTimeout:
+                last_transient = FetchOutcome.TIMEOUT
+                continue
+            except ConnectionFailed:
+                last_transient = FetchOutcome.CONNECT_FAILURE
+                continue
+            except TooManyRedirects:
+                return FetchResult(
+                    url=url, outcome=FetchOutcome.REDIRECT_LOOP, attempts=attempts
+                )
+            outcome = FetchOutcome.OK if response.ok else FetchOutcome.HTTP_ERROR
+            return FetchResult(
+                url=url,
+                outcome=outcome,
+                status=response.status,
+                body=response.body,
+                final_url=str(response.url) if response.url else url,
+                attempts=attempts,
+            )
+        return FetchResult(
+            url=url,
+            outcome=last_transient or FetchOutcome.CONNECT_FAILURE,
+            attempts=attempts,
+        )
+
+    def fetch_domain(self, domain_name: str) -> FetchResult:
+        """Fetch a domain's landing page over HTTPS."""
+        return self.fetch(f"https://{domain_name}/")

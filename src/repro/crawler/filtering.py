@@ -1,0 +1,118 @@
+"""The paper's inaccessible-domain filter (Section 4.1).
+
+The paper conservatively removes domains that responded with error pages
+(4xx status) or empty pages (<400 bytes — a threshold they validated by
+manually checking every such page) for the **four consecutive weeks in
+the last month** of the collection period.
+
+:class:`AccessibilityFilter` runs that check as a probe pass over the
+virtual network before the main crawl, so the main crawl only visits the
+retained domains (equivalent to the paper's retrospective filtering, and
+kept deterministic by resetting the network's failure-schedule counters
+afterwards).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Set, Tuple
+
+from ..timeline import StudyCalendar
+from ..webgen.domains import Domain
+from ..webgen.ecosystem import WebEcosystem
+from .fetch import Fetcher, FetchOutcome, FetchResult
+
+
+@dataclasses.dataclass
+class FilterReport:
+    """Outcome of the accessibility probe."""
+
+    total_domains: int
+    retained: int
+    removed: int
+    removed_error: int
+    removed_empty: int
+    removed_unreachable: int
+
+    @property
+    def retained_fraction(self) -> float:
+        if self.total_domains == 0:
+            return 0.0
+        return self.retained / self.total_domains
+
+
+class AccessibilityFilter:
+    """Removes domains inaccessible through the final month."""
+
+    def __init__(
+        self,
+        ecosystem: WebEcosystem,
+        empty_page_threshold: int = 400,
+    ) -> None:
+        self.ecosystem = ecosystem
+        self.empty_page_threshold = empty_page_threshold
+
+    def _is_bad(self, result: FetchResult) -> Tuple[bool, str]:
+        """Whether one probe response marks the week as inaccessible."""
+        if result.outcome is not FetchOutcome.OK:
+            if result.outcome is FetchOutcome.HTTP_ERROR:
+                return True, "error"
+            return True, "unreachable"
+        if result.size < self.empty_page_threshold:
+            # Anti-bot block pages return 200 with tiny bodies; the paper
+            # verified all such pages carry no real content.
+            return True, "empty"
+        return False, ""
+
+    def run(self) -> Tuple[Set[str], FilterReport]:
+        """Probe the last month and compute the retained domain set.
+
+        Returns:
+            ``(retained_domain_names, report)``.
+        """
+        calendar: StudyCalendar = self.ecosystem.calendar
+        last_month = calendar.last_month()
+        domains: Sequence[Domain] = self.ecosystem.population.domains
+        bad_streak = {d.name: 0 for d in domains}
+        last_reason = {d.name: "" for d in domains}
+
+        fetcher = Fetcher(self.ecosystem.network, retries=0)
+        for week in last_month:
+            self.ecosystem.set_week(week.ordinal)
+            for domain in domains:
+                result = fetcher.fetch_domain(domain.name)
+                bad, reason = self._is_bad(result)
+                if bad:
+                    bad_streak[domain.name] += 1
+                    last_reason[domain.name] = reason
+                else:
+                    bad_streak[domain.name] = 0
+
+        # Undo the probe's effect on the deterministic failure schedule
+        # and rewind the clock for the main crawl.
+        self.ecosystem.network.reset_ordinals()
+        self.ecosystem.network.set_clock(0)
+
+        retained: Set[str] = set()
+        removed_error = removed_empty = removed_unreachable = 0
+        for domain in domains:
+            if bad_streak[domain.name] >= len(last_month):
+                reason = last_reason[domain.name]
+                if reason == "error":
+                    removed_error += 1
+                elif reason == "empty":
+                    removed_empty += 1
+                else:
+                    removed_unreachable += 1
+            else:
+                retained.add(domain.name)
+
+        report = FilterReport(
+            total_domains=len(domains),
+            retained=len(retained),
+            removed=len(domains) - len(retained),
+            removed_error=removed_error,
+            removed_empty=removed_empty,
+            removed_unreachable=removed_unreachable,
+        )
+        return retained, report

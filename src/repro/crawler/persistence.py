@@ -1,0 +1,186 @@
+"""Saving and loading observation stores.
+
+The paper publishes its aggregated dataset for future research; this
+module provides the equivalent for downstream users of this library:
+serialize an :class:`~repro.crawler.ObservationStore`'s aggregates and
+trajectories to a single JSON document and restore them without
+re-crawling.
+
+Only analysis-facing state is persisted (weekly aggregates, per-site
+trajectories, untrusted-host sets); the memoization caches rebuild on
+demand.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import StoreError
+from ..timeline import StudyCalendar
+from ..vulndb import MatchMode, VersionMatcher, default_database
+from .store import ObservationStore
+
+_FORMAT_VERSION = 1
+
+
+def _encode_mode_dict(mapping):
+    return {mode.value: value for mode, value in mapping.items()}
+
+
+def store_to_dict(store: ObservationStore) -> dict:
+    """Serialize a store to a JSON-compatible dict."""
+    weeks = []
+    for agg in store.ordered_weeks():
+        weeks.append(
+            {
+                "ordinal": agg.week.ordinal,
+                "collected": agg.collected,
+                "resources": dict(agg.resource_counts),
+                "library_users": dict(agg.library_users),
+                "versions": [
+                    [lib, ver, count]
+                    for (lib, ver), count in agg.version_counts.items()
+                ],
+                "internal": dict(agg.internal_counts),
+                "external": dict(agg.external_counts),
+                "cdn": dict(agg.cdn_counts),
+                "cdn_hosts": {k: dict(v) for k, v in agg.cdn_hosts.items()},
+                "sites_with_external": agg.sites_with_external,
+                "sites_external_no_integrity": agg.sites_external_no_integrity,
+                "crossorigin": dict(agg.crossorigin_values),
+                "integrity_inclusions": agg.integrity_inclusions,
+                "external_inclusions": agg.external_inclusions,
+                "wordpress_sites": agg.wordpress_sites,
+                "wordpress_versions": dict(agg.wordpress_versions),
+                "wordpress_jquery": dict(agg.wordpress_jquery_versions),
+                "library_wp_users": dict(agg.library_wordpress_users),
+                "flash_sites": agg.flash_sites,
+                "flash_by_tier": dict(agg.flash_by_tier),
+                "flash_access_specified": agg.flash_access_specified,
+                "flash_access_always": agg.flash_access_always,
+                "flash_visible": agg.flash_visible,
+                "untrusted_sites": agg.untrusted_sites,
+                "untrusted_sites_with_integrity": agg.untrusted_sites_with_integrity,
+                "untrusted_hosts": dict(agg.untrusted_hosts),
+                "vulnerable_sites": _encode_mode_dict(agg.vulnerable_sites),
+                "vuln_hist": {
+                    mode.value: {str(k): v for k, v in hist.items()}
+                    for mode, hist in agg.vuln_count_hist.items()
+                },
+                "advisory_sites": {
+                    mode.value: dict(sites)
+                    for mode, sites in agg.advisory_sites.items()
+                },
+            }
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "total_observations": store.total_observations,
+        "observed_domains": sorted(store.observed_domains),
+        "weeks": weeks,
+        "trajectories": {
+            str(rank): {lib: traj for lib, traj in libs.items()}
+            for rank, libs in store.trajectories.items()
+        },
+        "wp_trajectories": {
+            str(rank): traj for rank, traj in store.wp_trajectories.items()
+        },
+        "flash_spans": {
+            str(rank): list(span) for rank, span in store.flash_spans.items()
+        },
+        "untrusted_site_sets": {
+            host: sorted(sites) for host, sites in store.untrusted_site_sets.items()
+        },
+        "untrusted_urls": dict(store.untrusted_url_counts),
+    }
+
+
+def save_store(store: ObservationStore, path: Union[str, Path]) -> None:
+    """Write a store to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(store_to_dict(store)))
+
+
+def store_from_dict(
+    payload: dict,
+    calendar: StudyCalendar,
+    matcher: VersionMatcher = None,
+) -> ObservationStore:
+    """Rebuild a store from :func:`store_to_dict` output.
+
+    Raises:
+        StoreError: On an unknown format version or week mismatch.
+    """
+    if payload.get("format") != _FORMAT_VERSION:
+        raise StoreError(f"unsupported store format: {payload.get('format')!r}")
+    if matcher is None:
+        matcher = VersionMatcher(default_database())
+    store = ObservationStore(calendar, matcher)
+    store.total_observations = payload["total_observations"]
+    store.observed_domains = set(payload["observed_domains"])
+
+    for entry in payload["weeks"]:
+        ordinal = entry["ordinal"]
+        agg = store.weeks.get(ordinal)
+        if agg is None:
+            raise StoreError(f"week ordinal {ordinal} not in calendar")
+        agg.collected = entry["collected"]
+        agg.resource_counts.update(entry["resources"])
+        agg.library_users.update(entry["library_users"])
+        for lib, ver, count in entry["versions"]:
+            agg.version_counts[(lib, ver)] = count
+        agg.internal_counts.update(entry["internal"])
+        agg.external_counts.update(entry["external"])
+        agg.cdn_counts.update(entry["cdn"])
+        for lib, hosts in entry["cdn_hosts"].items():
+            agg.cdn_hosts[lib].update(hosts)
+        agg.sites_with_external = entry["sites_with_external"]
+        agg.sites_external_no_integrity = entry["sites_external_no_integrity"]
+        agg.crossorigin_values.update(entry["crossorigin"])
+        agg.integrity_inclusions = entry["integrity_inclusions"]
+        agg.external_inclusions = entry["external_inclusions"]
+        agg.wordpress_sites = entry["wordpress_sites"]
+        agg.wordpress_versions.update(entry["wordpress_versions"])
+        agg.wordpress_jquery_versions.update(entry["wordpress_jquery"])
+        agg.library_wordpress_users.update(entry["library_wp_users"])
+        agg.flash_sites = entry["flash_sites"]
+        agg.flash_by_tier.update(entry["flash_by_tier"])
+        agg.flash_access_specified = entry["flash_access_specified"]
+        agg.flash_access_always = entry["flash_access_always"]
+        agg.flash_visible = entry["flash_visible"]
+        agg.untrusted_sites = entry["untrusted_sites"]
+        agg.untrusted_sites_with_integrity = entry["untrusted_sites_with_integrity"]
+        agg.untrusted_hosts.update(entry["untrusted_hosts"])
+        for mode_text, value in entry["vulnerable_sites"].items():
+            agg.vulnerable_sites[MatchMode(mode_text)] = value
+        for mode_text, hist in entry["vuln_hist"].items():
+            target = agg.vuln_count_hist[MatchMode(mode_text)]
+            for count_text, sites in hist.items():
+                target[int(count_text)] = sites
+        for mode_text, sites in entry["advisory_sites"].items():
+            agg.advisory_sites[MatchMode(mode_text)].update(sites)
+
+    for rank_text, libs in payload["trajectories"].items():
+        store.trajectories[int(rank_text)] = {
+            lib: [tuple(change) for change in traj] for lib, traj in libs.items()
+        }
+    for rank_text, traj in payload["wp_trajectories"].items():
+        store.wp_trajectories[int(rank_text)] = [tuple(c) for c in traj]
+    for rank_text, span in payload["flash_spans"].items():
+        store.flash_spans[int(rank_text)] = (span[0], span[1])
+    for host, sites in payload["untrusted_site_sets"].items():
+        store.untrusted_site_sets[host] = set(sites)
+    store.untrusted_url_counts.update(payload["untrusted_urls"])
+    return store
+
+
+def load_store(
+    path: Union[str, Path],
+    calendar: StudyCalendar,
+    matcher: VersionMatcher = None,
+) -> ObservationStore:
+    """Read a store previously written by :func:`save_store`."""
+    payload = json.loads(Path(path).read_text())
+    return store_from_dict(payload, calendar, matcher)

@@ -1,0 +1,306 @@
+"""The observation store: streaming aggregation of crawl results.
+
+The paper's raw dataset is 157.2M HTML files; nobody analyses that
+directly.  :class:`ObservationStore` ingests one fingerprinted page
+observation at a time and maintains exactly the aggregates the paper's
+tables and figures need, plus per-site version *trajectories* for the
+update-delay analysis — so memory stays proportional to (weeks ×
+libraries × versions) + (sites × libraries), not to page count.
+
+Vulnerability joins happen at ingest through a memoized
+:class:`~repro.vulndb.VersionMatcher`, under both the stated-CVE and the
+True-Vulnerable-Versions modes.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import DefaultDict, Dict, List, Optional, Set, Tuple
+
+from ..errors import StoreError
+from ..fingerprint import PageProfile
+from ..timeline import StudyCalendar, Week
+from ..vulndb import MatchMode, VersionMatcher
+from ..webgen.domains import Domain
+
+
+@dataclasses.dataclass
+class WeekAggregate:
+    """Everything counted for one kept week."""
+
+    week: Week
+    collected: int = 0
+    resource_counts: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: library -> sites using it this week
+    library_users: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: (library, version) -> site count
+    version_counts: DefaultDict[Tuple[str, str], int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: library -> inclusion-kind counters
+    internal_counts: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    external_counts: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    cdn_counts: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: library -> CDN host -> count
+    cdn_hosts: DefaultDict[str, DefaultDict[str, int]] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(
+            lambda: collections.defaultdict(int)
+        )
+    )
+    #: sites with >=1 external library inclusion / missing integrity
+    sites_with_external: int = 0
+    sites_external_no_integrity: int = 0
+    #: crossorigin values among integrity-carrying inclusions
+    crossorigin_values: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    integrity_inclusions: int = 0
+    external_inclusions: int = 0
+    #: WordPress
+    wordpress_sites: int = 0
+    wordpress_versions: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: jQuery versions observed on WordPress sites (Figure 7(b))
+    wordpress_jquery_versions: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: library -> sites using it that are WordPress sites
+    library_wordpress_users: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: Flash
+    flash_sites: int = 0
+    flash_by_tier: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    flash_access_specified: int = 0
+    flash_access_always: int = 0
+    flash_visible: int = 0
+    #: untrusted (VCS-hosted) scripts
+    untrusted_sites: int = 0
+    untrusted_sites_with_integrity: int = 0
+    untrusted_hosts: DefaultDict[str, int] = dataclasses.field(
+        default_factory=lambda: collections.defaultdict(int)
+    )
+    #: vulnerability aggregates per match mode
+    vulnerable_sites: Dict[MatchMode, int] = dataclasses.field(
+        default_factory=lambda: {MatchMode.CVE: 0, MatchMode.TVV: 0}
+    )
+    vuln_count_hist: Dict[MatchMode, DefaultDict[int, int]] = dataclasses.field(
+        default_factory=lambda: {
+            MatchMode.CVE: collections.defaultdict(int),
+            MatchMode.TVV: collections.defaultdict(int),
+        }
+    )
+    #: advisory id -> affected-site count, per mode
+    advisory_sites: Dict[MatchMode, DefaultDict[str, int]] = dataclasses.field(
+        default_factory=lambda: {
+            MatchMode.CVE: collections.defaultdict(int),
+            MatchMode.TVV: collections.defaultdict(int),
+        }
+    )
+
+
+class ObservationStore:
+    """Aggregates fingerprinted observations for the analyses.
+
+    Args:
+        calendar: The study calendar (defines the week axis).
+        matcher: Memoized vulnerability matcher used at ingest.
+    """
+
+    def __init__(self, calendar: StudyCalendar, matcher: VersionMatcher) -> None:
+        self.calendar = calendar
+        self.matcher = matcher
+        self.weeks: Dict[int, WeekAggregate] = {
+            w.ordinal: WeekAggregate(week=w) for w in calendar
+        }
+        #: domain rank -> library -> [(week ordinal, version)] (changes only)
+        self.trajectories: Dict[int, Dict[str, List[Tuple[int, str]]]] = {}
+        #: domain rank -> [(week ordinal, wordpress version)]
+        self.wp_trajectories: Dict[int, List[Tuple[int, str]]] = {}
+        #: domain rank -> (first flash week, last flash week)
+        self.flash_spans: Dict[int, Tuple[int, int]] = {}
+        #: untrusted host -> set of site ranks (whole study; Table 6)
+        self.untrusted_site_sets: DefaultDict[str, Set[int]] = collections.defaultdict(set)
+        self.untrusted_url_counts: DefaultDict[str, int] = collections.defaultdict(int)
+        #: domain ranks ever observed (post-filter universe)
+        self.observed_domains: Set[int] = set()
+        self.total_observations = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(self, domain: Domain, week: Week, profile: PageProfile) -> None:
+        """Record one successfully fingerprinted landing page."""
+        agg = self.weeks.get(week.ordinal)
+        if agg is None:
+            raise StoreError(f"week ordinal {week.ordinal} not in calendar")
+        self.total_observations += 1
+        self.observed_domains.add(domain.rank)
+        agg.collected += 1
+
+        for resource in profile.resource_types:
+            agg.resource_counts[resource] += 1
+
+        is_wordpress = profile.uses_wordpress
+        if is_wordpress:
+            agg.wordpress_sites += 1
+            agg.wordpress_versions[profile.wordpress_version or "?"] += 1
+            changes = self.wp_trajectories.setdefault(domain.rank, [])
+            if not changes or changes[-1][1] != profile.wordpress_version:
+                changes.append((week.ordinal, profile.wordpress_version or "?"))
+
+        seen_libraries: Set[str] = set()
+        has_external = False
+        has_external_no_integrity = False
+        cve_vulns = 0
+        tvv_vulns = 0
+        cve_ids: Set[str] = set()
+        tvv_ids: Set[str] = set()
+
+        for detection in profile.libraries:
+            library = detection.library
+            if library not in seen_libraries:
+                seen_libraries.add(library)
+                agg.library_users[library] += 1
+                if is_wordpress:
+                    agg.library_wordpress_users[library] += 1
+            if detection.internal:
+                agg.internal_counts[library] += 1
+            else:
+                agg.external_counts[library] += 1
+                agg.external_inclusions += 1
+                has_external = True
+                if detection.via_cdn:
+                    agg.cdn_counts[library] += 1
+                    agg.cdn_hosts[library][detection.cdn_host or "?"] += 1
+                if detection.has_integrity:
+                    agg.integrity_inclusions += 1
+                    if detection.crossorigin is not None:
+                        agg.crossorigin_values[detection.crossorigin] += 1
+                else:
+                    has_external_no_integrity = True
+
+            version = detection.version
+            if version is None:
+                # Version unreadable: only unbounded ("all versions")
+                # advisories still apply.
+                cve_hits = self.matcher.match_unversioned(library, MatchMode.CVE)
+                tvv_hits = self.matcher.match_unversioned(library, MatchMode.TVV)
+                cve_vulns += len(cve_hits)
+                tvv_vulns += len(tvv_hits)
+                cve_ids.update(h.identifier for h in cve_hits)
+                tvv_ids.update(h.identifier for h in tvv_hits)
+                continue
+            agg.version_counts[(library, version)] += 1
+            if is_wordpress and library == "jquery":
+                agg.wordpress_jquery_versions[version] += 1
+
+            trajectory = self.trajectories.setdefault(domain.rank, {}).setdefault(
+                library, []
+            )
+            if not trajectory or trajectory[-1][1] != version:
+                trajectory.append((week.ordinal, version))
+
+            cve_hits = self.matcher.match(library, version, MatchMode.CVE)
+            tvv_hits = self.matcher.match(library, version, MatchMode.TVV)
+            cve_vulns += len(cve_hits)
+            tvv_vulns += len(tvv_hits)
+            cve_ids.update(h.identifier for h in cve_hits)
+            tvv_ids.update(h.identifier for h in tvv_hits)
+
+        if has_external:
+            agg.sites_with_external += 1
+            if has_external_no_integrity:
+                agg.sites_external_no_integrity += 1
+
+        for identifier in cve_ids:
+            agg.advisory_sites[MatchMode.CVE][identifier] += 1
+        for identifier in tvv_ids:
+            agg.advisory_sites[MatchMode.TVV][identifier] += 1
+        if cve_vulns:
+            agg.vulnerable_sites[MatchMode.CVE] += 1
+        if tvv_vulns:
+            agg.vulnerable_sites[MatchMode.TVV] += 1
+        agg.vuln_count_hist[MatchMode.CVE][cve_vulns] += 1
+        agg.vuln_count_hist[MatchMode.TVV][tvv_vulns] += 1
+
+        if profile.uses_flash:
+            agg.flash_sites += 1
+            agg.flash_by_tier[domain.tier] += 1
+            span = self.flash_spans.get(domain.rank)
+            if span is None:
+                self.flash_spans[domain.rank] = (week.ordinal, week.ordinal)
+            else:
+                self.flash_spans[domain.rank] = (span[0], week.ordinal)
+            for embed in profile.flash_embeds:
+                if embed.script_access_specified:
+                    agg.flash_access_specified += 1
+                    if embed.insecure:
+                        agg.flash_access_always += 1
+                if embed.visible:
+                    agg.flash_visible += 1
+                break  # one embed per site in the generated pages
+
+        if profile.untrusted_scripts:
+            agg.untrusted_sites += 1
+            any_integrity = False
+            for entry in profile.untrusted_scripts:
+                host, url = entry[0], entry[1]
+                agg.untrusted_hosts[host] += 1
+                self.untrusted_site_sets[host].add(domain.rank)
+                self.untrusted_url_counts[url] += 1
+                if len(entry) > 2 and entry[2]:
+                    any_integrity = True
+            if any_integrity:
+                agg.untrusted_sites_with_integrity += 1
+
+    # ------------------------------------------------------------------
+    # Axis helpers for the analyses
+    # ------------------------------------------------------------------
+    def ordered_weeks(self) -> List[WeekAggregate]:
+        return [self.weeks[w.ordinal] for w in self.calendar]
+
+    def series(self, getter) -> List[float]:
+        """Apply ``getter(aggregate)`` across weeks in order."""
+        return [getter(agg) for agg in self.ordered_weeks()]
+
+    def average(self, getter) -> float:
+        """Mean of a weekly statistic over weeks with data."""
+        values = [getter(agg) for agg in self.ordered_weeks() if agg.collected > 0]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def version_series(self, library: str, version: str) -> List[int]:
+        """Weekly site counts for one (library, version)."""
+        key = (library, version)
+        return [agg.version_counts.get(key, 0) for agg in self.ordered_weeks()]
+
+    def library_series(self, library: str) -> List[int]:
+        return [agg.library_users.get(library, 0) for agg in self.ordered_weeks()]
+
+    def observed_versions(self, library: str) -> List[str]:
+        """All versions of a library ever observed (sorted by count desc)."""
+        totals: DefaultDict[str, int] = collections.defaultdict(int)
+        for agg in self.ordered_weeks():
+            for (lib, version), count in agg.version_counts.items():
+                if lib == library:
+                    totals[version] += count
+        return [v for v, _ in sorted(totals.items(), key=lambda kv: -kv[1])]
+
+    def average_collected(self) -> float:
+        return self.average(lambda a: a.collected)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subsystems raise the
+most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A scenario or component configuration is invalid."""
+
+
+class VersionError(ReproError):
+    """A version string or version range could not be parsed or compared."""
+
+
+class CatalogError(ReproError):
+    """A library release catalog is missing or inconsistent."""
+
+
+class NetworkError(ReproError):
+    """Base class for virtual-network failures."""
+
+
+class DNSError(NetworkError):
+    """A hostname could not be resolved on the virtual network."""
+
+
+class ConnectionFailed(NetworkError):
+    """The virtual TCP connection could not be established."""
+
+
+class RequestTimeout(NetworkError):
+    """The virtual request did not complete within its deadline."""
+
+
+class TooManyRedirects(NetworkError):
+    """A fetch followed more redirects than allowed."""
+
+
+class CrawlError(ReproError):
+    """The crawler could not complete a scheduled operation."""
+
+
+class StoreError(ReproError):
+    """The snapshot store rejected an operation."""
+
+
+class FingerprintError(ReproError):
+    """The fingerprint engine was given input it cannot process."""
+
+
+class SignatureError(FingerprintError):
+    """A technology signature definition is malformed."""
+
+
+class VulnDBError(ReproError):
+    """The vulnerability database rejected a record or query."""
+
+
+class PocError(ReproError):
+    """A proof-of-concept program could not be executed."""
+
+
+class EnvironmentSetupError(PocError):
+    """A simulated library environment could not be constructed."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was run on inputs that violate its preconditions."""

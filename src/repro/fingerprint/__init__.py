@@ -1,0 +1,45 @@
+"""Wappalyzer-style fingerprinting of static HTML.
+
+Given one landing page (static HTML, as the paper's pipeline consumed),
+the engine identifies:
+
+* generic client-side resource types (JavaScript, CSS, favicon,
+  imported-HTML, XML, SVG, Flash, AXD — the paper's Figure 2(b) top-8);
+* JavaScript libraries and their versions from script URLs (file name,
+  path segment, or ``?ver=`` query) and inline banners;
+* inclusion type (internal vs external), CDN delivery, and
+  collaborative-version-control hosting (GitHub/GitLab/Bitbucket);
+* Subresource Integrity and ``crossorigin`` attributes;
+* Adobe Flash embeds and their ``AllowScriptAccess`` configuration;
+* the WordPress platform and its version.
+
+Public API: :class:`FingerprintEngine` returning a :class:`PageProfile`.
+"""
+
+from .profile import (
+    FlashEmbed,
+    LibraryDetection,
+    PageProfile,
+    ScriptAccess,
+)
+from .engine import FingerprintEngine
+from .html_scan import Tag, scan_tags
+from .signatures import LibrarySignature, default_signatures
+from .cdn import CdnCatalog, default_cdn_catalog
+from .untrusted import UNTRUSTED_HOST_SUFFIXES, is_untrusted_host
+
+__all__ = [
+    "FingerprintEngine",
+    "PageProfile",
+    "LibraryDetection",
+    "FlashEmbed",
+    "ScriptAccess",
+    "Tag",
+    "scan_tags",
+    "LibrarySignature",
+    "default_signatures",
+    "CdnCatalog",
+    "default_cdn_catalog",
+    "is_untrusted_host",
+    "UNTRUSTED_HOST_SUFFIXES",
+]

@@ -1,0 +1,81 @@
+"""Catalog of content-delivery-network hosts.
+
+Covers every CDN hostname appearing in the paper's Table 5 plus the
+generic public CDNs.  Matching is by exact host or registrable-suffix
+(``*.wp.com`` counts as wp.com).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+#: CDN hostnames from the paper's Table 5 and Section 2.1.
+DEFAULT_CDN_HOSTS: FrozenSet[str] = frozenset(
+    {
+        "ajax.googleapis.com",
+        "ajax.aspnetcdn.com",
+        "code.jquery.com",
+        "cdnjs.cloudflare.com",
+        "cdn.jsdelivr.net",
+        "unpkg.com",
+        "maxcdn.bootstrapcdn.com",
+        "stackpath.bootstrapcdn.com",
+        "netdna.bootstrapcdn.com",
+        "c0.wp.com",
+        "s0.wp.com",
+        "wp.com",
+        "secureservercdn.net",
+        "cdn.shopify.com",
+        "widget.trustpilot.com",
+        "polyfill.io",
+        "cdn.polyfill.io",
+        "static.parastorage.com",
+        "momentjs.com",
+        "cdn.staticfile.org",
+        "yastatic.net",
+        "strato-editor.com",
+        "cdn.prestosports.com",
+        "cdn.datatables.net",
+        "use.fontawesome.com",
+        # Catch-all entry for CDN-delivered inclusions not attributable
+        # to a named Table 5 host.
+        "cdn.static-assets.net",
+    }
+)
+
+
+class CdnCatalog:
+    """Classifies hostnames as CDN endpoints."""
+
+    def __init__(self, hosts: Iterable[str] = DEFAULT_CDN_HOSTS) -> None:
+        self._hosts = frozenset(h.lower() for h in hosts)
+        self._suffixes = tuple("." + h for h in self._hosts)
+
+    def is_cdn(self, hostname: Optional[str]) -> bool:
+        if not hostname:
+            return False
+        hostname = hostname.lower()
+        return hostname in self._hosts or hostname.endswith(self._suffixes)
+
+    def match(self, hostname: Optional[str]) -> Optional[str]:
+        """The catalog entry matching ``hostname``, or None."""
+        if not hostname:
+            return None
+        hostname = hostname.lower()
+        if hostname in self._hosts:
+            return hostname
+        for entry in self._hosts:
+            if hostname.endswith("." + entry):
+                return entry
+        return None
+
+    def __contains__(self, hostname: object) -> bool:
+        return isinstance(hostname, str) and self.is_cdn(hostname)
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+
+def default_cdn_catalog() -> CdnCatalog:
+    """The built-in catalog covering the paper's Table 5 hosts."""
+    return CdnCatalog()

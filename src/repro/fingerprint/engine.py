@@ -1,0 +1,305 @@
+"""The fingerprint engine: static HTML in, :class:`PageProfile` out.
+
+This is the stand-in for Wappalyzer in the paper's pipeline (Section
+4.2): regex-driven identification of client-side resources and their
+versions from a single landing page.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..netsim.url import Url, parse_url, urljoin
+from .cdn import CdnCatalog, default_cdn_catalog
+from .html_scan import Tag, inline_scripts, object_groups, scan_tags
+from .profile import FlashEmbed, LibraryDetection, PageProfile, ScriptAccess
+from .signatures import LibrarySignature, default_signatures
+from .untrusted import is_untrusted_host
+
+_WP_GENERATOR_RE = re.compile(r"WordPress\s+(?P<version>\d[\d.]*)", re.IGNORECASE)
+_HIDDEN_STYLE_RE = re.compile(
+    r"display\s*:\s*none|visibility\s*:\s*hidden|left\s*:\s*-\d{3,}", re.IGNORECASE
+)
+
+
+def _normalize_host(host: Optional[str]) -> Optional[str]:
+    if host is None:
+        return None
+    host = host.lower()
+    if host.startswith("www."):
+        host = host[4:]
+    return host
+
+
+class FingerprintEngine:
+    """Identifies technologies on static HTML landing pages.
+
+    Args:
+        signatures: Library signatures, most specific first; defaults to
+            the built-in top-15 set.
+        cdn_catalog: CDN host catalog for delivery classification.
+    """
+
+    def __init__(
+        self,
+        signatures: Optional[Sequence[LibrarySignature]] = None,
+        cdn_catalog: Optional[CdnCatalog] = None,
+    ) -> None:
+        self.signatures: Tuple[LibrarySignature, ...] = tuple(
+            signatures if signatures is not None else default_signatures()
+        )
+        self.cdn_catalog = cdn_catalog or default_cdn_catalog()
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def fingerprint(self, html: str, page_url: str) -> PageProfile:
+        """Fingerprint one landing page.
+
+        Args:
+            html: The page text.
+            page_url: Absolute URL the page was fetched from; relative
+                script references resolve against it.
+        """
+        base = parse_url(page_url) if isinstance(page_url, str) else page_url
+        page_host = _normalize_host(base.host)
+        tags = scan_tags(html)
+
+        resource_types: Set[str] = set()
+        libraries: List[LibraryDetection] = []
+        untrusted_scripts: List[Tuple[str, str, bool]] = []
+        script_count = 0
+        external_count = 0
+        wordpress_version: Optional[str] = None
+        wordpress_markers = False
+
+        for tag in tags:
+            if tag.name == "script":
+                src = tag.get("src")
+                if src:
+                    script_count += 1
+                    detection, external = self._inspect_script(tag, src, base, page_host)
+                    if external:
+                        external_count += 1
+                        try:
+                            host = _normalize_host(urljoin(base, src).host)
+                        except Exception:
+                            host = None
+                        if host and is_untrusted_host(host):
+                            untrusted_scripts.append(
+                                (host, src, tag.has("integrity"))
+                            )
+                    if detection is not None:
+                        libraries.append(detection)
+                    resource_types.add("javascript")
+                    self._classify_url_resource(src, resource_types)
+                    if "/wp-content/" in src or "/wp-includes/" in src:
+                        wordpress_markers = True
+                else:
+                    resource_types.add("javascript")
+            elif tag.name == "style":
+                resource_types.add("css")
+            elif tag.name == "link":
+                self._inspect_link(tag, resource_types)
+                href = tag.get("href")
+                if href and ("/wp-content/" in href or "/wp-includes/" in href):
+                    wordpress_markers = True
+            elif tag.name == "meta":
+                if tag.get("name").lower() == "generator":
+                    match = _WP_GENERATOR_RE.search(tag.get("content"))
+                    if match:
+                        wordpress_version = match.group("version")
+            elif tag.name == "img":
+                src = tag.get("src")
+                if src:
+                    self._classify_url_resource(src, resource_types)
+            elif tag.name == "svg":
+                resource_types.add("svg")
+
+        # Inline banners: catch internally inlined library copies that
+        # have no URL (only for libraries not already seen).
+        seen = {d.library for d in libraries}
+        for body in inline_scripts(html):
+            resource_types.add("javascript")
+            for signature in self.signatures:
+                if signature.library in seen:
+                    continue
+                matched = signature.match_inline(body)
+                if matched is None:
+                    continue
+                version, evidence = matched
+                libraries.append(
+                    LibraryDetection(
+                        library=signature.library,
+                        version=version,
+                        source_url="",
+                        host=page_host,
+                        external=False,
+                        evidence=evidence,
+                    )
+                )
+                seen.add(signature.library)
+                break
+
+        flash_embeds = self._inspect_flash(html, tags, base, page_host)
+        if flash_embeds:
+            resource_types.add("flash")
+
+        if wordpress_version is None and wordpress_markers:
+            wordpress_version = ""  # platform detected, version unknown
+
+        return PageProfile(
+            page_host=page_host or "",
+            resource_types=frozenset(resource_types),
+            libraries=tuple(libraries),
+            flash_embeds=tuple(flash_embeds),
+            wordpress_version=wordpress_version or None,
+            script_count=script_count,
+            external_script_count=external_count,
+            untrusted_scripts=tuple(untrusted_scripts),
+        )
+
+    # ------------------------------------------------------------------
+    # Script inspection
+    # ------------------------------------------------------------------
+    def _inspect_script(
+        self, tag: Tag, src: str, base: Url, page_host: Optional[str]
+    ) -> Tuple[Optional[LibraryDetection], bool]:
+        try:
+            resolved = urljoin(base, src)
+        except Exception:
+            return None, False
+        host = _normalize_host(resolved.host)
+        external = host is not None and host != page_host
+
+        detection: Optional[LibraryDetection] = None
+        for signature in self.signatures:
+            matched = signature.match_url(
+                host, resolved.path, resolved.query, resolved.filename
+            )
+            if matched is None:
+                continue
+            version, evidence = matched
+            detection = LibraryDetection(
+                library=signature.library,
+                version=version,
+                source_url=src,
+                host=host,
+                external=external,
+                cdn_host=self.cdn_catalog.match(host) if external else None,
+                untrusted_host=external and is_untrusted_host(host),
+                has_integrity=tag.has("integrity"),
+                crossorigin=tag.get("crossorigin") if tag.has("crossorigin") else None,
+                evidence=evidence,
+            )
+            break
+        return detection, external
+
+    # ------------------------------------------------------------------
+    # Non-script resources
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _inspect_link(tag: Tag, resource_types: Set[str]) -> None:
+        rel = tag.get("rel").lower()
+        href = tag.get("href")
+        link_type = tag.get("type").lower()
+        if "stylesheet" in rel:
+            resource_types.add("css")
+        if "icon" in rel:
+            resource_types.add("favicon")
+        if "xml" in link_type or (href and href.lower().split("?")[0].endswith(".xml")):
+            resource_types.add("xml")
+        if href:
+            FingerprintEngine._classify_url_resource(href, resource_types)
+
+    @staticmethod
+    def _classify_url_resource(url: str, resource_types: Set[str]) -> None:
+        path = url.split("?", 1)[0].lower()
+        if path.endswith(".php"):
+            resource_types.add("imported-html")
+        elif path.endswith(".svg"):
+            resource_types.add("svg")
+        elif path.endswith(".axd") or ".axd" in path:
+            resource_types.add("axd")
+        elif path.endswith(".xml"):
+            resource_types.add("xml")
+        elif path.endswith(".swf"):
+            resource_types.add("flash")
+        elif path.endswith(".css"):
+            resource_types.add("css")
+
+    # ------------------------------------------------------------------
+    # Flash
+    # ------------------------------------------------------------------
+    def _inspect_flash(
+        self,
+        html: str,
+        tags: Sequence[Tag],
+        base: Url,
+        page_host: Optional[str],
+    ) -> List[FlashEmbed]:
+        embeds: List[FlashEmbed] = []
+
+        for obj, params in object_groups(html):
+            movie: Optional[str] = None
+            access_value: Optional[str] = None
+            data = obj.get("data")
+            if data and data.lower().split("?")[0].endswith(".swf"):
+                movie = data
+            for param in params:
+                pname = param.get("name").lower()
+                if pname == "movie" and param.get("value"):
+                    movie = param.get("value")
+                elif pname == "allowscriptaccess":
+                    access_value = param.get("value")
+            if movie is None:
+                continue
+            embeds.append(
+                self._build_embed(obj, movie, access_value, "object", base, page_host)
+            )
+
+        for tag in tags:
+            if tag.name != "embed":
+                continue
+            src = tag.get("src")
+            if not src or not src.lower().split("?")[0].endswith(".swf"):
+                continue
+            access_value = (
+                tag.get("allowscriptaccess") if tag.has("allowscriptaccess") else None
+            )
+            embeds.append(
+                self._build_embed(tag, src, access_value, "embed", base, page_host)
+            )
+        return embeds
+
+    @staticmethod
+    def _build_embed(
+        tag: Tag,
+        movie: str,
+        access_value: Optional[str],
+        kind: str,
+        base: Url,
+        page_host: Optional[str],
+    ) -> FlashEmbed:
+        try:
+            resolved = urljoin(base, movie)
+            external = _normalize_host(resolved.host) != page_host
+        except Exception:
+            external = False
+        width = tag.get("width")
+        height = tag.get("height")
+        style = tag.get("style")
+        visible = True
+        if width in ("0", "1") or height in ("0", "1"):
+            visible = False
+        elif style and _HIDDEN_STYLE_RE.search(style):
+            visible = False
+        return FlashEmbed(
+            swf_url=movie,
+            tag=kind,
+            script_access=ScriptAccess.parse(access_value) if access_value else None,
+            script_access_specified=access_value is not None,
+            external=external,
+            visible=visible,
+        )

@@ -1,0 +1,147 @@
+"""Lightweight HTML tag scanner.
+
+A purpose-built scanner (not a full HTML5 parser): it extracts the tags
+fingerprinting cares about — ``script``, ``link``, ``meta``, ``style``,
+``img``, ``object``, ``embed``, ``param``, ``iframe``, ``svg`` — with
+their attributes, plus inline script bodies.  It tolerates the usual
+real-page mess: attribute values with or without quotes, mixed case,
+self-closing slashes, and unclosed tags.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_TAG_NAMES = (
+    "script",
+    "link",
+    "meta",
+    "style",
+    "img",
+    "object",
+    "embed",
+    "param",
+    "iframe",
+    "svg",
+)
+
+_TAG_RE = re.compile(
+    r"<(?P<name>" + "|".join(_TAG_NAMES) + r")\b(?P<attrs>[^>]*)>",
+    re.IGNORECASE,
+)
+
+_ATTR_RE = re.compile(
+    r"""
+    (?P<name>[a-zA-Z_:][-a-zA-Z0-9_:.]*)
+    (?:\s*=\s*
+        (?:
+            "(?P<dq>[^"]*)"
+          | '(?P<sq>[^']*)'
+          | (?P<uq>[^\s"'>`]+)
+        )
+    )?
+    """,
+    re.VERBOSE,
+)
+
+_SCRIPT_BODY_RE = re.compile(
+    r"<script\b[^>]*>(?P<body>.*?)</script\s*>",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+
+
+@dataclasses.dataclass(frozen=True)
+class Tag:
+    """One scanned tag: lowercase name, lowercase-keyed attributes."""
+
+    name: str
+    attrs: Dict[str, str]
+    position: int
+
+    def get(self, attribute: str, default: str = "") -> str:
+        return self.attrs.get(attribute.lower(), default)
+
+    def has(self, attribute: str) -> bool:
+        return attribute.lower() in self.attrs
+
+
+def _parse_attrs(raw: str) -> Dict[str, str]:
+    attrs: Dict[str, str] = {}
+    for match in _ATTR_RE.finditer(raw):
+        name = match.group("name").lower()
+        if name == "/":
+            continue
+        value = match.group("dq")
+        if value is None:
+            value = match.group("sq")
+        if value is None:
+            value = match.group("uq")
+        attrs[name] = value if value is not None else ""
+    return attrs
+
+
+def scan_tags(html: str, strip_comments: bool = True) -> List[Tag]:
+    """Extract fingerprint-relevant tags from an HTML document.
+
+    Args:
+        html: Raw page text.
+        strip_comments: Remove ``<!-- -->`` blocks first so commented-out
+            markup is not fingerprinted.
+    """
+    if strip_comments:
+        html = _COMMENT_RE.sub("", html)
+    tags: List[Tag] = []
+    for match in _TAG_RE.finditer(html):
+        raw_attrs = match.group("attrs") or ""
+        tags.append(
+            Tag(
+                name=match.group("name").lower(),
+                attrs=_parse_attrs(raw_attrs.rstrip("/")),
+                position=match.start(),
+            )
+        )
+    return tags
+
+
+def inline_scripts(html: str) -> List[str]:
+    """Bodies of inline ``<script>`` blocks (non-empty only)."""
+    bodies = []
+    for match in _SCRIPT_BODY_RE.finditer(html):
+        body = match.group("body").strip()
+        if body:
+            bodies.append(body)
+    return bodies
+
+
+def object_groups(html: str) -> List[Tuple[Tag, List[Tag]]]:
+    """``<object>`` tags paired with the ``<param>`` tags nested in them.
+
+    Returns a list of ``(object_tag, params)`` tuples.  Params appearing
+    before any object, or after a closing ``</object>``, attach to no
+    object (Flash ``<embed>`` fallbacks carry their own attributes).
+    """
+    groups: List[Tuple[Tag, List[Tag]]] = []
+    close_positions = [m.start() for m in re.finditer(r"</object\s*>", html, re.IGNORECASE)]
+    tags = scan_tags(html)
+    current: Optional[Tuple[Tag, List[Tag]]] = None
+    close_iter = iter(close_positions)
+    next_close = next(close_iter, None)
+    for tag in tags:
+        while next_close is not None and tag.position > next_close:
+            if current is not None:
+                groups.append(current)
+                current = None
+            next_close = next(close_iter, None)
+        if tag.name == "object":
+            if current is not None:
+                groups.append(current)
+            current = (tag, [])
+        elif tag.name == "param" and current is not None:
+            current[1].append(tag)
+    if current is not None:
+        groups.append(current)
+    return groups

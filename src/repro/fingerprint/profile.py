@@ -1,0 +1,164 @@
+"""Structured fingerprinting output for one page."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+class ScriptAccess(enum.Enum):
+    """Values of Flash's ``AllowScriptAccess`` parameter.
+
+    ``sameDomain`` is the browser default when the parameter is absent;
+    ``always`` is the insecure option WHATWG advises against.
+    """
+
+    ALWAYS = "always"
+    SAME_DOMAIN = "samedomain"
+    NEVER = "never"
+
+    @classmethod
+    def parse(cls, value: str) -> "ScriptAccess":
+        normalized = value.strip().lower()
+        for member in cls:
+            if member.value == normalized:
+                return member
+        return cls.SAME_DOMAIN
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryDetection:
+    """One JavaScript library identified on a page.
+
+    Attributes:
+        library: Canonical library name (e.g. ``"jquery"``).
+        version: Detected version string, or None when unidentifiable.
+        source_url: The script URL as written in the page.
+        host: Host serving the file; None for same-origin relative URLs.
+        external: True when served from a different origin than the page.
+        cdn_host: The CDN hostname when served via a known CDN.
+        untrusted_host: True for collaborative-VCS hosting
+            (GitHub/GitLab/Bitbucket pages).
+        has_integrity: ``integrity`` attribute present (SRI).
+        crossorigin: Value of the ``crossorigin`` attribute, if present.
+        evidence: Which signature clause matched (diagnostics).
+    """
+
+    library: str
+    version: Optional[str]
+    source_url: str
+    host: Optional[str]
+    external: bool
+    cdn_host: Optional[str] = None
+    untrusted_host: bool = False
+    has_integrity: bool = False
+    crossorigin: Optional[str] = None
+    evidence: str = ""
+
+    @property
+    def internal(self) -> bool:
+        return not self.external
+
+    @property
+    def via_cdn(self) -> bool:
+        return self.cdn_host is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class FlashEmbed:
+    """One Adobe Flash movie embedded in a page."""
+
+    swf_url: str
+    tag: str  # "object" or "embed"
+    script_access: Optional[ScriptAccess]
+    script_access_specified: bool
+    external: bool
+    visible: bool = True
+
+    @property
+    def insecure(self) -> bool:
+        """True when ``AllowScriptAccess`` is explicitly ``always``."""
+        return self.script_access is ScriptAccess.ALWAYS
+
+
+@dataclasses.dataclass
+class PageProfile:
+    """Everything fingerprinted from one landing page.
+
+    ``resource_types`` uses the paper's Figure 2(b) vocabulary:
+    ``javascript``, ``css``, ``favicon``, ``imported-html``, ``xml``,
+    ``svg``, ``flash``, ``axd``.
+    """
+
+    page_host: str
+    resource_types: FrozenSet[str] = frozenset()
+    libraries: Tuple[LibraryDetection, ...] = ()
+    flash_embeds: Tuple[FlashEmbed, ...] = ()
+    wordpress_version: Optional[str] = None
+    script_count: int = 0
+    external_script_count: int = 0
+    #: (host, url, has_integrity) triples of external scripts served from
+    #: collaborative version-control hosting (GitHub/GitLab/Bitbucket
+    #: pages), whether or not a library signature matched them.
+    untrusted_scripts: Tuple[Tuple[str, str, bool], ...] = ()
+
+    @property
+    def uses_wordpress(self) -> bool:
+        return self.wordpress_version is not None
+
+    @property
+    def uses_flash(self) -> bool:
+        return bool(self.flash_embeds) or "flash" in self.resource_types
+
+    @property
+    def library_names(self) -> FrozenSet[str]:
+        return frozenset(d.library for d in self.libraries)
+
+    def detections_of(self, library: str) -> Tuple[LibraryDetection, ...]:
+        wanted = library.lower()
+        return tuple(d for d in self.libraries if d.library == wanted)
+
+    def versions_of(self, library: str) -> Tuple[str, ...]:
+        return tuple(
+            d.version for d in self.detections_of(library) if d.version is not None
+        )
+
+    def external_without_integrity(self) -> Tuple[LibraryDetection, ...]:
+        """External library inclusions missing the ``integrity`` attribute."""
+        return tuple(
+            d for d in self.libraries if d.external and not d.has_integrity
+        )
+
+    def insecure_flash(self) -> Tuple[FlashEmbed, ...]:
+        return tuple(e for e in self.flash_embeds if e.insecure)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (for the snapshot store)."""
+        return {
+            "host": self.page_host,
+            "resources": sorted(self.resource_types),
+            "libraries": [
+                {
+                    "library": d.library,
+                    "version": d.version,
+                    "external": d.external,
+                    "cdn": d.cdn_host,
+                    "untrusted": d.untrusted_host,
+                    "integrity": d.has_integrity,
+                    "crossorigin": d.crossorigin,
+                }
+                for d in self.libraries
+            ],
+            "flash": [
+                {
+                    "swf": e.swf_url,
+                    "tag": e.tag,
+                    "script_access": e.script_access.value if e.script_access else None,
+                    "specified": e.script_access_specified,
+                    "insecure": e.insecure,
+                }
+                for e in self.flash_embeds
+            ],
+            "wordpress": self.wordpress_version,
+        }

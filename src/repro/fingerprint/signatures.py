@@ -1,0 +1,219 @@
+"""Technology signatures for JavaScript library identification.
+
+Each :class:`LibrarySignature` identifies one library from a script URL
+(the paper's primary channel — versions are visible in URLs) and
+optionally from inline-script banners.  Signatures are ordered: the
+engine takes the *first* signature whose URL pattern matches, so the
+more specific members of a family (``jquery-migrate``, ``jquery-ui``,
+``jquery-cookie``) precede plain ``jquery``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List, Optional, Pattern, Sequence, Tuple
+
+from ..errors import SignatureError
+from .versions import extract_version
+
+
+@dataclasses.dataclass(frozen=True)
+class LibrarySignature:
+    """Recognition rules for one library.
+
+    Attributes:
+        library: Canonical name (matches the release catalogs and the
+            vulnerability database).
+        url_patterns: Regexes run against the script URL's path+query;
+            the first match wins and a named ``version`` group beats
+            generic extraction.
+        token: File-name token used by generic version extraction.
+        inline_pattern: Optional regex run over inline script bodies
+            (banner comments); named group ``version``.
+        host_pattern: Optional regex the URL host must match (polyfill.io
+            is identified by host alone).
+    """
+
+    library: str
+    url_patterns: Tuple[Pattern[str], ...]
+    token: str
+    inline_pattern: Optional[Pattern[str]] = None
+    host_pattern: Optional[Pattern[str]] = None
+
+    def match_url(
+        self, host: Optional[str], path: str, query: str, filename: str
+    ) -> Optional[Tuple[Optional[str], str]]:
+        """Try to match a script URL.
+
+        Returns:
+            ``(version_or_None, evidence)`` on a match, else None.
+        """
+        if self.host_pattern is not None:
+            if not host or not self.host_pattern.search(host):
+                return None
+        target = path + ("?" + query if query else "")
+        for pattern in self.url_patterns:
+            match = pattern.search(target)
+            if match is None:
+                continue
+            version: Optional[str] = None
+            if "version" in match.groupdict() and match.group("version"):
+                version = match.group("version").lstrip("vV")
+                evidence = "url-pattern"
+            else:
+                version = extract_version(path, query, filename, self.token)
+                evidence = "url-generic" if version else "url-noversion"
+            return version, evidence
+        return None
+
+    def match_inline(self, body: str) -> Optional[Tuple[Optional[str], str]]:
+        """Try to match an inline script body (banner comment)."""
+        if self.inline_pattern is None:
+            return None
+        match = self.inline_pattern.search(body)
+        if match is None:
+            return None
+        version = None
+        if "version" in match.groupdict() and match.group("version"):
+            version = match.group("version").lstrip("vV")
+        return version, "inline-banner"
+
+
+def _sig(
+    library: str,
+    urls: Sequence[str],
+    token: Optional[str] = None,
+    inline: Optional[str] = None,
+    host: Optional[str] = None,
+) -> LibrarySignature:
+    try:
+        return LibrarySignature(
+            library=library,
+            url_patterns=tuple(re.compile(u, re.IGNORECASE) for u in urls),
+            token=token or library,
+            inline_pattern=re.compile(inline, re.IGNORECASE) if inline else None,
+            host_pattern=re.compile(host, re.IGNORECASE) if host else None,
+        )
+    except re.error as exc:  # pragma: no cover - authoring error
+        raise SignatureError(f"{library}: bad signature regex: {exc}") from exc
+
+
+_VER = r"v?(?P<version>\d[\d.]*\d|\d)"
+
+
+def default_signatures() -> List[LibrarySignature]:
+    """Signatures for the paper's top-15 libraries, most specific first."""
+    return [
+        _sig(
+            "jquery-migrate",
+            [r"jquery-migrate(?:[.-]" + _VER + r")?(?:[.-](?:min|slim))*\.js"],
+            token="jquery-migrate",
+            inline=r"jQuery Migrate(?:\s*[-v]*\s*" + _VER + r")?",
+        ),
+        _sig(
+            "jquery-ui",
+            [
+                r"jquery[-.]ui(?:[.-]" + _VER + r")?(?:[.-]min)?\.js",
+                r"/(?:jqueryui|jquery-ui)/" + _VER + r"/",
+            ],
+            token="jquery-ui",
+            inline=r"jQuery UI(?:\s*[-v]*\s*" + _VER + r")?",
+        ),
+        _sig(
+            "jquery-cookie",
+            [r"jquery[.-]cookie(?:[.-]" + _VER + r")?(?:[.-]min)?\.js"],
+            token="jquery.cookie",
+        ),
+        _sig(
+            "js-cookie",
+            [r"js[.-]cookie(?:[.-]" + _VER + r")?(?:[.-]min)?\.js"],
+            token="js.cookie",
+        ),
+        _sig(
+            "jquery",
+            [
+                r"(?:^|/)jquery(?:[.-]" + _VER + r")?(?:[.-](?:min|slim))*\.js",
+                r"/jquery/" + _VER + r"/jquery",
+            ],
+            token="jquery",
+            inline=r"jQuery (?:JavaScript Library )?v" + _VER,
+        ),
+        _sig(
+            "bootstrap",
+            [
+                r"bootstrap(?:[.-]bundle)?(?:[.-]" + _VER + r")?(?:[.-]min)?\.js",
+                r"/bootstrap/" + _VER + r"/",
+            ],
+            token="bootstrap",
+            inline=r"Bootstrap v" + _VER,
+        ),
+        _sig(
+            "modernizr",
+            [r"modernizr(?:[.-]custom)?(?:[.-]" + _VER + r")?(?:[.-]min)?\.js"],
+            token="modernizr",
+            inline=r"Modernizr v?" + _VER,
+        ),
+        _sig(
+            "underscore",
+            [r"underscore(?:[.-]" + _VER + r")?(?:[.-]min)?\.js"],
+            token="underscore",
+            inline=r"Underscore\.js " + _VER,
+        ),
+        _sig(
+            "isotope",
+            [r"isotope(?:\.pkgd)?(?:[.-]" + _VER + r")?(?:[.-]min)?\.js"],
+            token="isotope.pkgd",
+            inline=r"Isotope(?: PACKAGED)? v" + _VER,
+        ),
+        _sig(
+            "popper",
+            [
+                r"popper(?:[.-]" + _VER + r")?(?:[.-]min)?\.js",
+                r"/popper\.js/" + _VER + r"/",
+            ],
+            token="popper",
+        ),
+        _sig(
+            "moment",
+            [
+                r"moment(?:[.-]with[.-]locales)?(?:[.-]" + _VER + r")?(?:[.-]min)?\.js",
+                r"/moment\.js/" + _VER + r"/",
+            ],
+            token="moment",
+            inline=r"//! moment\.js(?:\s+version " + _VER + r")?",
+        ),
+        _sig(
+            "requirejs",
+            [
+                r"require(?:js)?(?:[.-]" + _VER + r")?(?:[.-]min)?\.js",
+                r"/require\.js/" + _VER + r"/",
+            ],
+            token="require",
+        ),
+        _sig(
+            "swfobject",
+            [
+                r"swfobject(?:[.-]" + _VER + r")?(?:[.-]min)?\.js",
+                r"/swfobject/" + _VER + r"/",
+            ],
+            token="swfobject",
+        ),
+        _sig(
+            "prototype",
+            [
+                r"prototype(?:[.-]" + _VER + r")?(?:[.-]min)?\.js",
+                r"/prototype/" + _VER + r"/",
+            ],
+            token="prototype",
+        ),
+        _sig(
+            "polyfill",
+            [
+                r"/v(?P<version>\d)/polyfill(?:[.-]min)?\.js",
+                r"polyfill[.-](?P<version>\d)(?:[.-]min)?\.js",
+                r"(?:^|/)polyfill(?:[.-]min)?\.js",
+            ],
+            token="polyfill",
+        ),
+    ]

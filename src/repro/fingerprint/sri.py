@@ -1,0 +1,78 @@
+"""Subresource Integrity (SRI) primitives.
+
+Implements the actual SRI check a browser performs: the ``integrity``
+attribute carries one or more ``<alg>-<base64digest>`` tokens; the
+fetched resource is accepted iff its digest under the *strongest* listed
+algorithm matches one of the tokens for that algorithm (W3C SRI §3.3.4).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import FingerprintError
+
+_ALGORITHMS = {"sha256": hashlib.sha256, "sha384": hashlib.sha384, "sha512": hashlib.sha512}
+_STRENGTH = {"sha256": 1, "sha384": 2, "sha512": 3}
+_TOKEN_RE = re.compile(r"^(sha256|sha384|sha512)-([A-Za-z0-9+/=]+)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class IntegrityToken:
+    """One parsed ``<alg>-<digest>`` token."""
+
+    algorithm: str
+    digest_b64: str
+
+
+def compute_integrity(content: bytes, algorithm: str = "sha384") -> str:
+    """The ``integrity`` attribute value for a resource body.
+
+    Args:
+        content: Raw resource bytes.
+        algorithm: ``sha256``, ``sha384``, or ``sha512``.
+
+    Raises:
+        FingerprintError: On an unknown algorithm.
+    """
+    try:
+        hasher = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise FingerprintError(f"unsupported SRI algorithm: {algorithm!r}") from None
+    digest = hasher(content).digest()
+    return f"{algorithm}-{base64.b64encode(digest).decode('ascii')}"
+
+
+def parse_integrity(attribute: str) -> List[IntegrityToken]:
+    """Parse an ``integrity`` attribute into its valid tokens.
+
+    Unknown or malformed tokens are skipped, as browsers do.
+    """
+    tokens: List[IntegrityToken] = []
+    for raw in (attribute or "").split():
+        match = _TOKEN_RE.match(raw)
+        if match:
+            tokens.append(IntegrityToken(match.group(1), match.group(2)))
+    return tokens
+
+
+def verify_integrity(content: bytes, attribute: str) -> bool:
+    """Would a browser accept ``content`` under this integrity attribute?
+
+    An attribute with no valid tokens imposes no constraint (returns
+    True), matching browser behaviour.
+    """
+    tokens = parse_integrity(attribute)
+    if not tokens:
+        return True
+    strongest = max(_STRENGTH[t.algorithm] for t in tokens)
+    candidates = [t for t in tokens if _STRENGTH[t.algorithm] == strongest]
+    for token in candidates:
+        expected = compute_integrity(content, token.algorithm)
+        if expected == f"{token.algorithm}-{token.digest_b64}":
+            return True
+    return False

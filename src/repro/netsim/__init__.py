@@ -1,0 +1,41 @@
+"""In-process network substrate.
+
+The paper's crawler issued HTTPS GETs against a million live domains.  We
+reproduce that code path against a virtual network: hostnames resolve
+through a simulated DNS, virtual hosts serve responses, and a configurable
+failure model injects the pathologies the paper had to filter (dead
+domains, flaky servers, anti-bot blocks, timeouts).
+
+Public API:
+
+* :class:`Url` / :func:`parse_url` — URL parsing and joining.
+* :class:`HttpRequest` / :class:`HttpResponse` / :class:`Headers`.
+* :class:`Resolver` — virtual DNS.
+* :class:`VirtualHost` — a server bound to a hostname.
+* :class:`VirtualNetwork` — routes requests, applies failure/latency
+  models, and keeps transfer statistics.
+"""
+
+from .url import Url, parse_url, urljoin
+from .http import Headers, HttpRequest, HttpResponse, reason_phrase
+from .dns import Resolver
+from .server import StaticHost, VirtualHost, not_found, text_response
+from .network import FailureModel, NetworkStats, VirtualNetwork
+
+__all__ = [
+    "Url",
+    "parse_url",
+    "urljoin",
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "reason_phrase",
+    "Resolver",
+    "VirtualHost",
+    "StaticHost",
+    "text_response",
+    "not_found",
+    "FailureModel",
+    "NetworkStats",
+    "VirtualNetwork",
+]

@@ -1,0 +1,69 @@
+"""Simulated DNS resolution.
+
+Hostnames on the virtual network resolve to deterministic pseudo-IPv4
+addresses.  Domains can be *retired* (NXDOMAIN), which is how the
+ecosystem models expired registrations — one of the inaccessibility
+causes the paper filters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Set
+
+from ..errors import DNSError
+
+
+def _pseudo_ip(hostname: str) -> str:
+    digest = hashlib.sha256(hostname.encode("utf-8")).digest()
+    # Avoid reserved first octets 0, 10, 127.
+    first = 1 + digest[0] % 223
+    if first in (10, 127):
+        first += 1
+    return f"{first}.{digest[1]}.{digest[2]}.{digest[3]}"
+
+
+class Resolver:
+    """Virtual DNS resolver with registration and retirement."""
+
+    def __init__(self) -> None:
+        self._registered: Dict[str, str] = {}
+        self._retired: Set[str] = set()
+        self.queries = 0
+        self.failures = 0
+
+    def register(self, hostname: str, address: Optional[str] = None) -> str:
+        """Register a hostname; returns its address."""
+        hostname = hostname.lower()
+        ip = address or _pseudo_ip(hostname)
+        self._registered[hostname] = ip
+        self._retired.discard(hostname)
+        return ip
+
+    def retire(self, hostname: str) -> None:
+        """Make a hostname stop resolving (expired domain)."""
+        self._retired.add(hostname.lower())
+
+    def restore(self, hostname: str) -> None:
+        """Undo :meth:`retire`."""
+        self._retired.discard(hostname.lower())
+
+    def is_registered(self, hostname: str) -> bool:
+        hostname = hostname.lower()
+        return hostname in self._registered and hostname not in self._retired
+
+    def resolve(self, hostname: str) -> str:
+        """Resolve a hostname to its virtual address.
+
+        Raises:
+            DNSError: If the hostname is unknown or retired.
+        """
+        hostname = hostname.lower()
+        self.queries += 1
+        if hostname in self._retired or hostname not in self._registered:
+            self.failures += 1
+            raise DNSError(f"NXDOMAIN: {hostname}")
+        return self._registered[hostname]
+
+    def __len__(self) -> int:
+        return len(self._registered)

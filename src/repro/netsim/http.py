@@ -1,0 +1,149 @@
+"""HTTP message types for the virtual network.
+
+Minimal but faithful request/response representations: case-insensitive
+headers, status reason phrases, redirect helpers, and body size
+accounting (the paper's 400-byte empty-page threshold operates on body
+bytes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from .url import Url, parse_url
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    410: "Gone",
+    429: "Too Many Requests",
+    451: "Unavailable For Legal Reasons",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def reason_phrase(status: int) -> str:
+    """The standard reason phrase for a status code."""
+    return _REASONS.get(status, "Unknown")
+
+
+class Headers:
+    """Case-insensitive HTTP header multimap with last-wins get()."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Mapping[str, str]] = None) -> None:
+        self._items: Dict[str, Tuple[str, str]] = {}
+        if items:
+            for name, value in items.items():
+                self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        self._items[name.lower()] = (name, str(value))
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        entry = self._items.get(name.lower())
+        return entry[1] if entry else default
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._items
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = dict(self._items)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}: {v}" for k, v in self._items.values())
+        return f"Headers({inner})"
+
+
+@dataclasses.dataclass
+class HttpRequest:
+    """An HTTP request on the virtual network."""
+
+    url: Url
+    method: str = "GET"
+    headers: Headers = dataclasses.field(default_factory=Headers)
+    body: bytes = b""
+    timeout: float = 30.0
+
+    @classmethod
+    def get(cls, url: Union[str, Url], **kwargs: object) -> "HttpRequest":
+        """Convenience constructor for a GET request."""
+        if isinstance(url, str):
+            url = parse_url(url)
+        return cls(url=url, method="GET", **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def host(self) -> str:
+        return self.url.host
+
+
+@dataclasses.dataclass
+class HttpResponse:
+    """An HTTP response from a virtual host."""
+
+    status: int
+    headers: Headers = dataclasses.field(default_factory=Headers)
+    body: bytes = b""
+    url: Optional[Url] = None
+    elapsed: float = 0.0
+
+    @property
+    def reason(self) -> str:
+        return reason_phrase(self.status)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 307, 308) and "location" in self.headers
+
+    @property
+    def is_client_error(self) -> bool:
+        return 400 <= self.status < 500
+
+    @property
+    def is_server_error(self) -> bool:
+        return 500 <= self.status < 600
+
+    @property
+    def content_length(self) -> int:
+        return len(self.body)
+
+    @property
+    def text(self) -> str:
+        """Body decoded as UTF-8 (replacement on errors)."""
+        return self.body.decode("utf-8", errors="replace")
+
+    @property
+    def content_type(self) -> str:
+        return (self.headers.get("content-type") or "").split(";")[0].strip()
+
+    def redirect_target(self) -> Optional[str]:
+        return self.headers.get("location")

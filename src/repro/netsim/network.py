@@ -1,0 +1,209 @@
+"""The virtual network: routing, failures, latency, accounting.
+
+:class:`VirtualNetwork` connects crawler fetches to registered virtual
+hosts through the simulated DNS.  A :class:`FailureModel` injects the
+transport-level pathologies the paper encountered in four years of
+crawling — connection failures, timeouts, and rate-limit style blocks —
+deterministically: the outcome of the *n*-th request to a host at a given
+clock value is a pure function of the network seed, so identical scenario
+runs produce identical crawls.
+
+The network carries a ``clock`` (the current snapshot week ordinal) that
+time-varying hosts and failure schedules read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConnectionFailed, DNSError, NetworkError, RequestTimeout
+from .dns import Resolver
+from .http import HttpRequest, HttpResponse
+from .server import VirtualHost, text_response
+
+
+@dataclasses.dataclass
+class HostCondition:
+    """Transport reliability of one host.
+
+    Attributes:
+        connect_failure_rate: Probability a connection attempt fails.
+        timeout_rate: Probability a request times out after connecting.
+        server_error_rate: Probability the host answers 5xx.
+        latency: Base response latency in seconds.
+    """
+
+    connect_failure_rate: float = 0.0
+    timeout_rate: float = 0.0
+    server_error_rate: float = 0.0
+    latency: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("connect_failure_rate", "timeout_rate", "server_error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise NetworkError(f"{name} must be a probability, got {value}")
+
+
+class FailureModel:
+    """Deterministic per-host failure schedule.
+
+    Args:
+        seed: Root seed; combined with host, clock, and per-clock request
+            ordinal to make outcome draws reproducible and order-stable.
+        default: Condition applied to hosts with no explicit entry.
+    """
+
+    def __init__(self, seed: int = 0, default: Optional[HostCondition] = None) -> None:
+        self.seed = seed
+        self.default = default or HostCondition()
+        self._conditions: Dict[str, HostCondition] = {}
+
+    def set_condition(self, host: str, condition: HostCondition) -> None:
+        self._conditions[host.lower()] = condition
+
+    def condition_for(self, host: str) -> HostCondition:
+        return self._conditions.get(host.lower(), self.default)
+
+    def _draw(self, host: str, clock: int, ordinal: int, channel: str) -> float:
+        material = f"{self.seed}|{host}|{clock}|{ordinal}|{channel}".encode()
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def outcome(self, host: str, clock: int, ordinal: int) -> str:
+        """One of ``"ok"``, ``"connect_failure"``, ``"timeout"``, ``"server_error"``."""
+        condition = self.condition_for(host)
+        if condition.connect_failure_rate and (
+            self._draw(host, clock, ordinal, "connect") < condition.connect_failure_rate
+        ):
+            return "connect_failure"
+        if condition.timeout_rate and (
+            self._draw(host, clock, ordinal, "timeout") < condition.timeout_rate
+        ):
+            return "timeout"
+        if condition.server_error_rate and (
+            self._draw(host, clock, ordinal, "5xx") < condition.server_error_rate
+        ):
+            return "server_error"
+        return "ok"
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Aggregate transfer accounting."""
+
+    requests: int = 0
+    responses: int = 0
+    bytes_received: int = 0
+    dns_failures: int = 0
+    connect_failures: int = 0
+    timeouts: int = 0
+
+    def record_response(self, response: HttpResponse) -> None:
+        self.responses += 1
+        self.bytes_received += response.content_length
+
+
+class VirtualNetwork:
+    """Routes HTTP requests to virtual hosts with failure injection."""
+
+    def __init__(
+        self,
+        resolver: Optional[Resolver] = None,
+        failures: Optional[FailureModel] = None,
+    ) -> None:
+        self.resolver = resolver or Resolver()
+        self.failures = failures or FailureModel()
+        self.stats = NetworkStats()
+        self.clock: int = 0
+        self._hosts: Dict[str, VirtualHost] = {}
+        self._request_ordinals: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, hostname: str, host: VirtualHost) -> None:
+        """Register a host and make its name resolvable."""
+        hostname = hostname.lower()
+        self._hosts[hostname] = host
+        self.resolver.register(hostname)
+
+    def detach(self, hostname: str) -> None:
+        """Remove a host and retire its name."""
+        hostname = hostname.lower()
+        self._hosts.pop(hostname, None)
+        self.resolver.retire(hostname)
+
+    def host_for(self, hostname: str) -> Optional[VirtualHost]:
+        return self._hosts.get(hostname.lower())
+
+    def __contains__(self, hostname: object) -> bool:
+        return isinstance(hostname, str) and hostname.lower() in self._hosts
+
+    def set_clock(self, clock: int) -> None:
+        """Advance the network clock (snapshot week ordinal)."""
+        self.clock = clock
+
+    def reset_ordinals(self) -> None:
+        """Forget per-(host, clock) request counters.
+
+        After a probe pass (e.g. the crawler's accessibility prefilter),
+        resetting restores the failure schedule a fresh crawl would see,
+        keeping runs deterministic regardless of probing.
+        """
+        self._request_ordinals.clear()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _next_ordinal(self, host: str) -> int:
+        key = (host, self.clock)
+        ordinal = self._request_ordinals.get(key, 0)
+        self._request_ordinals[key] = ordinal + 1
+        return ordinal
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        """Route one request.
+
+        Raises:
+            DNSError: The hostname does not resolve.
+            ConnectionFailed: The virtual connection could not open.
+            RequestTimeout: The request exceeded its deadline.
+        """
+        host = request.host
+        self.stats.requests += 1
+        try:
+            self.resolver.resolve(host)
+        except DNSError:
+            self.stats.dns_failures += 1
+            raise
+
+        ordinal = self._next_ordinal(host)
+        outcome = self.failures.outcome(host, self.clock, ordinal)
+        condition = self.failures.condition_for(host)
+        if outcome == "connect_failure":
+            self.stats.connect_failures += 1
+            raise ConnectionFailed(f"connection to {host} failed")
+        if outcome == "timeout" or condition.latency > request.timeout:
+            self.stats.timeouts += 1
+            raise RequestTimeout(f"request to {host} timed out")
+
+        server = self._hosts.get(host)
+        if server is None:
+            # Resolvable but nothing listening: connection refused.
+            self.stats.connect_failures += 1
+            raise ConnectionFailed(f"nothing listening on {host}")
+
+        if outcome == "server_error":
+            response = text_response(
+                "<html><body><h1>503 Service Unavailable</h1></body></html>",
+                status=503,
+            )
+        else:
+            response = server.handle(request)
+        response.url = request.url
+        response.elapsed = condition.latency
+        self.stats.record_response(response)
+        return response

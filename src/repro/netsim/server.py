@@ -1,0 +1,102 @@
+"""Virtual hosts: request handlers bound to hostnames.
+
+A :class:`VirtualHost` is anything with a ``handle(request) ->
+HttpResponse`` method.  :class:`StaticHost` serves a path->content
+mapping, which covers CDNs and simple sites; the web-ecosystem generator
+provides richer hosts whose landing page varies with the simulated week.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Union
+
+from .http import Headers, HttpRequest, HttpResponse
+
+HandlerFn = Callable[[HttpRequest], HttpResponse]
+
+
+class VirtualHost(Protocol):
+    """Anything that can answer HTTP requests for one hostname."""
+
+    def handle(self, request: HttpRequest) -> HttpResponse:  # pragma: no cover
+        ...
+
+
+def text_response(
+    body: Union[str, bytes],
+    status: int = 200,
+    content_type: str = "text/html; charset=utf-8",
+    headers: Optional[Dict[str, str]] = None,
+) -> HttpResponse:
+    """Build a response around a text or bytes body."""
+    data = body.encode("utf-8") if isinstance(body, str) else body
+    hdrs = Headers({"content-type": content_type, "content-length": str(len(data))})
+    if headers:
+        for name, value in headers.items():
+            hdrs.set(name, value)
+    return HttpResponse(status=status, headers=hdrs, body=data)
+
+
+def not_found(path: str = "") -> HttpResponse:
+    """A conventional 404 page."""
+    body = f"<html><body><h1>404 Not Found</h1><p>{path}</p></body></html>"
+    return text_response(body, status=404)
+
+
+class StaticHost:
+    """A host serving a fixed path -> content mapping.
+
+    Args:
+        hostname: The hostname this host is registered under (kept for
+            diagnostics; routing is done by the network).
+        routes: Mapping of exact request paths to body text/bytes, or to
+            prepared :class:`HttpResponse` objects.
+        default_content_type: Content type for text bodies.
+    """
+
+    def __init__(
+        self,
+        hostname: str,
+        routes: Optional[Dict[str, Union[str, bytes, HttpResponse]]] = None,
+        default_content_type: str = "text/html; charset=utf-8",
+    ) -> None:
+        self.hostname = hostname
+        self._routes: Dict[str, Union[str, bytes, HttpResponse]] = dict(routes or {})
+        self._default_content_type = default_content_type
+        self.requests_served = 0
+
+    def add(self, path: str, content: Union[str, bytes, HttpResponse]) -> None:
+        self._routes[path] = content
+
+    def remove(self, path: str) -> None:
+        self._routes.pop(path, None)
+
+    def paths(self) -> tuple:
+        return tuple(self._routes)
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        content = self._routes.get(request.url.path)
+        if content is None:
+            return not_found(request.url.path)
+        if isinstance(content, HttpResponse):
+            return content
+        content_type = self._default_content_type
+        if request.url.path.endswith(".js"):
+            content_type = "application/javascript"
+        elif request.url.path.endswith(".css"):
+            content_type = "text/css"
+        elif request.url.path.endswith(".swf"):
+            content_type = "application/x-shockwave-flash"
+        return text_response(content, content_type=content_type)
+
+
+class FunctionHost:
+    """Adapts a plain handler function to the VirtualHost protocol."""
+
+    def __init__(self, hostname: str, handler: HandlerFn) -> None:
+        self.hostname = hostname
+        self._handler = handler
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        return self._handler(request)

@@ -1,0 +1,39 @@
+"""The PoC validation lab (Section 6.4's experiment environment).
+
+The paper manually validated each CVE's affected-version range by
+running proof-of-concept exploits against every release of the library
+(85 jQuery environments alone).  This package reproduces that setup in
+simulation:
+
+* :mod:`.dom` — a miniature DOM with the sinks XSS PoCs need (script
+  execution tracking, alert capture);
+* :mod:`.library_models` — simplified re-implementations of the
+  vulnerable code paths, version-gated the way the real code bases
+  were (e.g. jQuery's selector/HTML ambiguity before 1.9.0, the
+  ``htmlPrefilter`` regex between 1.12.0 and 3.5.0, Prototype's
+  ``stripTags`` catastrophic regex);
+* :mod:`.poc` — the PoC programs, one per validated advisory;
+* :mod:`.runner` — the sweep harness: run a PoC across every
+  catalogued release and report the *discovered* vulnerable range.
+
+The discovered ranges are independent of the vulnerability database;
+the test suite asserts they reproduce the paper's True Vulnerable
+Versions exactly.
+"""
+
+from .dom import Document, Element
+from .environment import Environment, EnvironmentFactory
+from .poc import PocProgram, default_pocs, poc_for
+from .runner import DiscoveredRange, ValidationLab
+
+__all__ = [
+    "Document",
+    "Element",
+    "Environment",
+    "EnvironmentFactory",
+    "PocProgram",
+    "default_pocs",
+    "poc_for",
+    "ValidationLab",
+    "DiscoveredRange",
+]

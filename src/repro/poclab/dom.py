@@ -1,0 +1,107 @@
+"""A miniature DOM for PoC execution.
+
+Implements exactly the sinks client-side XSS proof-of-concepts need:
+element creation, an ``innerHTML``-style parser that *executes nothing*
+(as real browsers do for ``innerHTML``-inserted ``<script>``), an
+explicit ``execute_script`` sink that records execution (what jQuery's
+DOM-manipulation helpers do when they evaluate scripts), and a global
+``alert`` collector so a fired payload is observable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional
+
+_TAG_RE = re.compile(r"<(/?)([a-zA-Z][a-zA-Z0-9]*)((?:[^>\"']|\"[^\"]*\"|'[^']*')*)>")
+_ONERROR_RE = re.compile(r"onerror\s*=\s*(?:\"([^\"]*)\"|'([^']*)'|(\S+))", re.IGNORECASE)
+_SCRIPT_RE = re.compile(r"<script[^>]*>(.*?)</script\s*>", re.IGNORECASE | re.DOTALL)
+_ALERT_RE = re.compile(r"alert\(\s*(?:'([^']*)'|\"([^\"]*)\"|([^)]*))\s*\)")
+
+
+@dataclasses.dataclass
+class Element:
+    """One DOM element."""
+
+    tag: str
+    attributes: Dict[str, str] = dataclasses.field(default_factory=dict)
+    children: List["Element"] = dataclasses.field(default_factory=list)
+    text: str = ""
+
+    def get(self, name: str, default: str = "") -> str:
+        return self.attributes.get(name.lower(), default)
+
+
+class Document:
+    """The PoC execution document."""
+
+    def __init__(self) -> None:
+        self.root = Element(tag="html")
+        self.alerts: List[str] = []
+        self.executed_scripts: List[str] = []
+        self.location_hash: str = ""
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def execute_script(self, source: str) -> None:
+        """The script-evaluation sink.
+
+        Records the execution and interprets ``alert(...)`` calls — the
+        observable proof that a payload fired.
+        """
+        self.executed_scripts.append(source)
+        for match in _ALERT_RE.finditer(source):
+            value = match.group(1) or match.group(2) or match.group(3) or ""
+            self.alerts.append(value.strip())
+
+    def fire_event_handler(self, source: str) -> None:
+        """Event-handler sink (``onerror=...`` payloads)."""
+        self.execute_script(source)
+
+    # ------------------------------------------------------------------
+    # Parsing (innerHTML semantics: scripts are inert, handlers fire when
+    # the element "loads" — modelled for the img/onerror idiom)
+    # ------------------------------------------------------------------
+    def parse_html(
+        self, markup: str, execute_scripts: bool = False, fire_handlers: bool = True
+    ) -> List[Element]:
+        """Parse markup into elements.
+
+        Args:
+            markup: The HTML fragment.
+            execute_scripts: Evaluate ``<script>`` bodies (what jQuery's
+                manipulation methods add on top of ``innerHTML``).
+            fire_handlers: Fire ``onerror`` handlers of broken images, as
+                a rendering browser would.
+        """
+        elements: List[Element] = []
+        if execute_scripts:
+            for match in _SCRIPT_RE.finditer(markup):
+                self.execute_script(match.group(1))
+        for match in _TAG_RE.finditer(markup):
+            closing, tag, raw_attrs = match.groups()
+            if closing:
+                continue
+            attrs: Dict[str, str] = {}
+            onerror = _ONERROR_RE.search(raw_attrs or "")
+            if onerror:
+                attrs["onerror"] = (
+                    onerror.group(1) or onerror.group(2) or onerror.group(3) or ""
+                )
+            element = Element(tag=tag.lower(), attributes=attrs)
+            elements.append(element)
+            if (
+                fire_handlers
+                and element.tag == "img"
+                and "onerror" in element.attributes
+            ):
+                # A broken <img src=...> fires onerror when rendered.
+                self.fire_event_handler(element.attributes["onerror"])
+        return elements
+
+    @property
+    def exploited(self) -> bool:
+        """Whether any payload observably fired."""
+        return bool(self.alerts)

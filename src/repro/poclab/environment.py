@@ -1,0 +1,54 @@
+"""Simulated experiment environments.
+
+One :class:`Environment` = one library at one pinned version plus a
+fresh document — the unit the paper built 85 times for jQuery alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..semver import ReleaseCatalog, builtin_catalogs
+from ..errors import EnvironmentSetupError
+from .dom import Document
+from .library_models import VersionedLibrary, model_for
+
+
+class Environment:
+    """A controlled environment for one (library, version)."""
+
+    def __init__(self, library: str, version: str) -> None:
+        self.library = library.lower()
+        self.version = version
+        self.dom = Document()
+        self.model: VersionedLibrary = model_for(self.library, version, self.dom)
+
+    @property
+    def exploited(self) -> bool:
+        return self.dom.exploited
+
+    def reset(self) -> None:
+        """Fresh document, same pinned library version."""
+        self.dom = Document()
+        self.model = model_for(self.library, self.version, self.dom)
+
+
+class EnvironmentFactory:
+    """Builds environments for every catalogued release of a library."""
+
+    def __init__(self, catalogs: Optional[dict] = None) -> None:
+        self._catalogs = catalogs or builtin_catalogs()
+
+    def catalog(self, library: str) -> ReleaseCatalog:
+        catalog = self._catalogs.get(library.lower())
+        if catalog is None:
+            raise EnvironmentSetupError(f"no release catalog for {library!r}")
+        return catalog
+
+    def create(self, library: str, version: str) -> Environment:
+        return Environment(library, version)
+
+    def sweep(self, library: str):
+        """Yield an environment per catalogued release, oldest first."""
+        for release in self.catalog(library):
+            yield self.create(library, str(release.version))

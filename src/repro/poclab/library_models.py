@@ -1,0 +1,282 @@
+"""Version-gated models of the vulnerable library code paths.
+
+Each model re-implements, in simplified form, the code path a CVE's
+proof-of-concept exercises, with the behaviour switching at the version
+bounds where the real code base changed.  The gates encode *code
+history* (when the buggy regex or missing sanitizer existed), so a PoC
+sweep over releases discovers the True Vulnerable Versions without
+consulting the vulnerability database.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from ..errors import EnvironmentSetupError
+from ..semver import Version, parse_version
+from .dom import Document
+
+
+def _v(text: str) -> Version:
+    return Version(text)
+
+
+class VersionedLibrary:
+    """Base class: one library at one pinned version."""
+
+    library = "base"
+
+    def __init__(self, version: str, dom: Document) -> None:
+        self.version = parse_version(version)
+        self.dom = dom
+
+    def _in(self, low: Optional[str], high: Optional[str]) -> bool:
+        """Version in [low, high) — the gate primitive."""
+        if low is not None and self.version < _v(low):
+            return False
+        if high is not None and self.version >= _v(high):
+            return False
+        return True
+
+
+_SELF_CLOSING_RE = re.compile(r"<(\w+)[^>]*/>")
+_OPTION_RE = re.compile(r"<option\b", re.IGNORECASE)
+
+
+class JQueryModel(VersionedLibrary):
+    """The jQuery code paths validated in the paper's Table 2."""
+
+    library = "jquery"
+
+    # -- CVE-2020-7656: .load() evaluates scripts in fetched HTML. ------
+    def load(self, content: str) -> None:
+        """``$(sel).load(url)`` — insert fetched HTML into the DOM.
+
+        Until 3.6.0 the response HTML was inserted with script
+        evaluation even when a selector suffix should have stripped
+        scripts (the paper's reimplemented PoC removes the selector).
+        """
+        executes = self._in(None, "3.6.0")
+        self.dom.parse_html(content, execute_scripts=executes, fire_handlers=False)
+
+    # -- CVE-2020-11023: <option> wrapping in manipulation methods. -----
+    def manipulate(self, markup: str) -> None:
+        """``.html()/.append()`` with attacker HTML."""
+        executes = False
+        if _OPTION_RE.search(markup) and self._in("1.4.0", "3.5.0"):
+            # The option-wrapping table mishandled <option> payloads.
+            executes = True
+        if _SELF_CLOSING_RE.search(markup) and self._in("1.12.0", "3.5.0"):
+            # CVE-2020-11022: htmlPrefilter rewrote self-closing tags
+            # (<style/><img onerror=...>) into breakout markup.
+            executes = True
+        self.dom.parse_html(markup, execute_scripts=executes, fire_handlers=executes)
+
+    # -- CVE-2012-6708: $(string) selector/HTML ambiguity. --------------
+    def construct(self, input_text: str) -> None:
+        """``jQuery(strInput)`` — selector or HTML?
+
+        Before 1.9.0 a ``<`` anywhere made the string HTML; from 1.9.0
+        only strings *starting* with ``<`` are parsed as HTML.
+        """
+        if input_text.lstrip().startswith("<"):
+            self.dom.parse_html(input_text)
+            return
+        if "<" in input_text and self._in(None, "1.9.0"):
+            fragment = input_text[input_text.index("<"):]
+            self.dom.parse_html(fragment)
+
+    # -- CVE-2014-6071: runtime <option> object creation. ---------------
+    def construct_with_context(self, markup: str) -> None:
+        """``$("<option>...", context)`` reflected-XSS path.
+
+        The attribute-handling fast path that fired handlers existed
+        from 1.5.0 and was rewritten in 2.2.4.
+        """
+        fire = self._in("1.5.0", "2.2.4")
+        self.dom.parse_html(markup, execute_scripts=False, fire_handlers=fire)
+
+    # -- CVE-2015-9251: cross-domain ajax executes text/javascript. -----
+    def ajax_cross_domain(self, response_body: str, content_type: str) -> None:
+        """Cross-origin ``$.ajax`` without explicit dataType."""
+        if content_type == "text/javascript" and self._in("1.12.0", "3.0.0"):
+            self.dom.execute_script(response_body)
+
+    # -- CVE-2011-4969: location.hash-based selector injection. ---------
+    def select_from_hash(self) -> None:
+        """The ``$(location.hash)`` idiom common in tab widgets."""
+        hash_value = self.dom.location_hash
+        if "<" in hash_value and self._in(None, "1.6.3"):
+            self.dom.parse_html(hash_value[hash_value.index("<"):])
+
+
+class BootstrapModel(VersionedLibrary):
+    """Bootstrap's data-attribute sanitization history."""
+
+    library = "bootstrap"
+
+    def _render_attribute(self, value: str, fire: bool) -> None:
+        self.dom.parse_html(value, execute_scripts=False, fire_handlers=fire)
+
+    def tooltip_template(self, template: str) -> None:
+        """CVE-2019-8331: tooltip/popover ``template`` option.
+
+        Sanitization arrived in 3.4.1 (3.x line) and 4.3.1 (4.x line).
+        """
+        fire = self._in(None, "3.4.1") or self._in("4.0.0", "4.3.1")
+        self._render_attribute(template, fire)
+
+    def tooltip_viewport(self, value: str) -> None:
+        """CVE-2018-20676: the ``viewport`` option (3.2.0 – 3.4.0)."""
+        self._render_attribute(value, self._in("3.2.0", "3.4.0"))
+
+    def affix_target(self, value: str) -> None:
+        """CVE-2018-20677: affix ``data-target`` (3.2.0 – 3.4.0)."""
+        self._render_attribute(value, self._in("3.2.0", "3.4.0"))
+
+    def popover_container(self, value: str) -> None:
+        """CVE-2018-14042: popover ``data-container`` (2.3.0 – 4.1.2)."""
+        self._render_attribute(value, self._in("2.3.0", "4.1.2"))
+
+    def scrollspy_target(self, value: str) -> None:
+        """CVE-2018-14041: scrollspy ``data-target`` (< 4.1.2)."""
+        self._render_attribute(value, self._in(None, "4.1.2"))
+
+    def collapse_parent(self, value: str) -> None:
+        """CVE-2018-14040: collapse ``data-parent`` (2.3.0 – 4.1.2)."""
+        self._render_attribute(value, self._in("2.3.0", "4.1.2"))
+
+    def data_target(self, value: str) -> None:
+        """CVE-2016-10735: generic ``data-target`` (2.1.0 – 3.4.0)."""
+        self._render_attribute(value, self._in("2.1.0", "3.4.0"))
+
+
+class JQueryMigrateModel(VersionedLibrary):
+    """jQuery-Migrate's compatibility shim re-enabled old parsing."""
+
+    library = "jquery-migrate"
+
+    def restore_legacy_html(self, input_text: str) -> None:
+        """The shim restored pre-1.9 selector/HTML ambiguity.
+
+        Present from 1.0.0 and only removed in the 3.0.0 rewrite —
+        far beyond the advisory's stated ``< 1.2.1``.
+        """
+        if "<" in input_text and self._in("1.0.0", "3.0.0"):
+            self.dom.parse_html(input_text[input_text.index("<"):])
+
+
+class JQueryUIModel(VersionedLibrary):
+    """jQuery-UI widget option sinks."""
+
+    library = "jquery-ui"
+
+    def dialog_title(self, value: str) -> None:
+        """CVE-2010-5312: dialog ``title`` option (< 1.10.0)."""
+        self.dom.parse_html(value, fire_handlers=self._in(None, "1.10.0"))
+
+    def tooltip_content(self, value: str) -> None:
+        """CVE-2012-6662: tooltip ``content`` option (< 1.10.0)."""
+        self.dom.parse_html(value, fire_handlers=self._in(None, "1.10.0"))
+
+    def dialog_close_text(self, value: str) -> None:
+        """CVE-2016-7103: dialog ``closeText`` option.
+
+        The paper's PoC shows the sink appearing with the 1.10 button
+        refactor and surviving until the 1.13.0 escaping fix — wider
+        than the CVE's ``< 1.12.0``.
+        """
+        self.dom.parse_html(value, fire_handlers=self._in("1.10.0", "1.13.0"))
+
+    def datepicker_alt_field(self, value: str) -> None:
+        """CVE-2021-41182 (< 1.13.0)."""
+        self.dom.parse_html(value, fire_handlers=self._in(None, "1.13.0"))
+
+    def datepicker_text_option(self, value: str) -> None:
+        """CVE-2021-41183 (< 1.13.0)."""
+        self.dom.parse_html(value, fire_handlers=self._in(None, "1.13.0"))
+
+    def position_of(self, value: str) -> None:
+        """CVE-2021-41184 (< 1.13.0)."""
+        self.dom.parse_html(value, fire_handlers=self._in(None, "1.13.0"))
+
+
+class UnderscoreModel(VersionedLibrary):
+    """Underscore template code injection."""
+
+    library = "underscore"
+
+    def template(self, source: str, variable: str) -> None:
+        """CVE-2021-23358: the ``variable`` option was interpolated into
+        the compiled function unsanitized (1.3.2 – 1.12.1)."""
+        if self._in("1.3.2", "1.12.1"):
+            # The option lands inside the compiled function body.
+            self.dom.execute_script(variable)
+
+
+class _RedosMixin:
+    """Simulated catastrophic-backtracking cost model."""
+
+    @staticmethod
+    def _steps(payload: str, vulnerable: bool) -> int:
+        n = len(payload)
+        return n * n if vulnerable else n
+
+
+class MomentModel(VersionedLibrary, _RedosMixin):
+    """Moment.js parsing ReDoS advisories."""
+
+    library = "moment"
+
+    def parse_duration_steps(self, payload: str) -> int:
+        """CVE-2017-18214: duration-string regex (< 2.19.3)."""
+        return self._steps(payload, self._in(None, "2.19.3"))
+
+    def parse_date_steps(self, payload: str) -> int:
+        """CVE-2016-4055: date-parsing regex.
+
+        The costly pattern entered with the 2.8.1 parser rewrite and
+        left in 2.15.2 — both bounds differ from the CVE's ``< 2.11.2``.
+        """
+        return self._steps(payload, self._in("2.8.1", "2.15.2"))
+
+
+class PrototypeModel(VersionedLibrary, _RedosMixin):
+    """Prototype.js advisories."""
+
+    library = "prototype"
+
+    def strip_tags_steps(self, payload: str) -> int:
+        """CVE-2020-27511: ``stripTags``/``unescapeHTML`` ReDoS.
+
+        The pattern is present in *every* release (never patched — the
+        fix PR was never merged)."""
+        return self._steps(payload, True)
+
+    def allows_unauthenticated_update(self) -> bool:
+        """CVE-2020-7993: missing authorization (< 1.6.0.1)."""
+        return self._in(None, "1.6.0.1")
+
+
+_MODELS: Dict[str, type] = {
+    "jquery": JQueryModel,
+    "bootstrap": BootstrapModel,
+    "jquery-migrate": JQueryMigrateModel,
+    "jquery-ui": JQueryUIModel,
+    "underscore": UnderscoreModel,
+    "moment": MomentModel,
+    "prototype": PrototypeModel,
+}
+
+
+def model_for(library: str, version: str, dom: Document) -> VersionedLibrary:
+    """Instantiate the behaviour model for (library, version).
+
+    Raises:
+        EnvironmentSetupError: If no model exists for the library.
+    """
+    cls = _MODELS.get(library.lower())
+    if cls is None:
+        raise EnvironmentSetupError(f"no behaviour model for {library!r}")
+    return cls(version, dom)

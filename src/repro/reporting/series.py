@@ -1,0 +1,43 @@
+"""Time-series rendering: sparklines and sampled series."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a unicode sparkline, resampled to ``width``."""
+    if not values:
+        return ""
+    values = list(values)
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    low = min(values)
+    high = max(values)
+    span = high - low or 1.0
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int((v - low) / span * (len(_BLOCKS) - 1)))]
+        for v in values
+    )
+
+
+def render_series(
+    dates: Sequence[str],
+    values: Sequence[float],
+    label: str = "",
+    samples: int = 8,
+    formatter=lambda v: f"{v:,.0f}",
+) -> str:
+    """A one-line summary: label, sparkline, and sampled data points."""
+    line = f"{label:24s} {sparkline(values)}"
+    if dates and values:
+        step = max(1, len(values) // samples)
+        points = ", ".join(
+            f"{dates[i][:7]}={formatter(values[i])}"
+            for i in range(0, len(values), step)
+        )
+        line += f"\n{'':24s} [{points}]"
+    return line

@@ -1,0 +1,61 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.412 -> '41.2%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_count(value: float) -> str:
+    """12345.6 -> '12,346'."""
+    return f"{value:,.0f}"
+
+
+class Table:
+    """A simple fixed-width table.
+
+    Args:
+        headers: Column headers.
+        title: Optional title line printed above the table.
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        self.headers = list(headers)
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self._rows.append([str(c) for c in cells])
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(
+            h.ljust(widths[i]) for i, h in enumerate(self.headers)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

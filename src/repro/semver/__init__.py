@@ -1,0 +1,46 @@
+"""Semantic-version handling for JavaScript library releases.
+
+JavaScript library projects use (mostly) semantic versioning; version
+strings observed in the wild are messier: ``v`` prefixes, two-component
+versions (``2.2``), four-component versions (Prototype's ``1.6.0.1``), and
+pre-release suffixes (``1.0.0-rc1``).  This package parses, orders, and
+ranges over all of them.
+
+Public API:
+
+* :class:`Version` — parsed, totally-ordered version value.
+* :class:`VersionRange` / :func:`parse_range` — interval specifiers such as
+  ``"< 3.4.0"`` or ``"1.2.0 ~ 3.5.0"`` as printed in the paper's Table 2.
+* :class:`ReleaseCatalog` / :func:`builtin_catalogs` — per-library release
+  lists with dates, used by the ecosystem generator and the PoC lab.
+"""
+
+from .version import Version, VersionLike, parse_version
+from .ranges import (
+    AllVersions,
+    NoVersions,
+    RangeSet,
+    VersionRange,
+    parse_range,
+)
+from .catalog import (
+    Release,
+    ReleaseCatalog,
+    builtin_catalogs,
+    catalog_for,
+)
+
+__all__ = [
+    "Version",
+    "VersionLike",
+    "parse_version",
+    "VersionRange",
+    "RangeSet",
+    "AllVersions",
+    "NoVersions",
+    "parse_range",
+    "Release",
+    "ReleaseCatalog",
+    "builtin_catalogs",
+    "catalog_for",
+]

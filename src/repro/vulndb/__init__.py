@@ -1,0 +1,32 @@
+"""Vulnerability knowledge base.
+
+An embedded, queryable database of the client-side-resource
+vulnerabilities the paper studies:
+
+* the 27 CVEs (plus the unassigned jQuery-Migrate XSS advisory) on the
+  top-15 JavaScript libraries, with both the *stated* affected ranges
+  from the CVE reports and the *True Vulnerable Versions* (TVV) the paper
+  established with PoC experiments (Table 2);
+* the top-10 WordPress CVEs of the paper's appendix (Table 4);
+* a sample of Adobe Flash Player advisories (Section 2.2 / 8).
+
+Public API: :class:`Advisory`, :class:`VulnerabilityDatabase`,
+:func:`default_database`, :class:`VersionMatcher`, and the
+:class:`RangeAccuracy` classification used in Section 6.4.
+"""
+
+from .model import Advisory, AttackType, RangeAccuracy, classify_accuracy
+from .store import VulnerabilityDatabase, default_database
+from .matcher import MatchMode, VersionMatcher, VulnerabilityHit
+
+__all__ = [
+    "Advisory",
+    "AttackType",
+    "RangeAccuracy",
+    "classify_accuracy",
+    "VulnerabilityDatabase",
+    "default_database",
+    "VersionMatcher",
+    "MatchMode",
+    "VulnerabilityHit",
+]

@@ -1,0 +1,242 @@
+"""Table 2 of the paper as data: advisories on the top-15 libraries.
+
+Each entry records the affected range *stated by the CVE report* and,
+where the paper's PoC validation experiments corrected it, the True
+Vulnerable Versions (TVV) range.  Dates are the disclosed/patched dates
+printed in Table 2.
+
+The jQuery-Migrate XSS has no CVE identifier (it was reported via Snyk
+and a GitHub issue); it is carried under the slug ``JQMIGRATE-2013-XSS``.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Optional, Tuple
+
+from ..semver import AllVersions, parse_range
+from .model import Advisory, AttackType
+
+
+def _d(text: Optional[str]) -> Optional[datetime.date]:
+    return datetime.date.fromisoformat(text) if text else None
+
+
+def _advisory(
+    identifier: str,
+    library: str,
+    stated: str,
+    true: Optional[str],
+    patched: Tuple[str, ...],
+    disclosed: Optional[str],
+    patched_on: Optional[str],
+    attack: AttackType,
+    poc: bool = False,
+    cvss: Optional[float] = None,
+    notes: str = "",
+) -> Advisory:
+    stated_range = AllVersions() if stated == "all" else parse_range(stated)
+    true_range = None
+    if true is not None:
+        true_range = AllVersions() if true == "all" else parse_range(true)
+    return Advisory(
+        identifier=identifier,
+        library=library,
+        stated_range=stated_range,
+        true_range=true_range,
+        patched_versions=patched,
+        disclosed=_d(disclosed),
+        patched_on=_d(patched_on),
+        attack_type=attack,
+        cvss=cvss,
+        poc_available=poc,
+        notes=notes,
+    )
+
+
+def library_advisories() -> List[Advisory]:
+    """The paper's Table 2: 28 vulnerabilities on seven libraries."""
+    xss = AttackType.XSS
+    return [
+        # ----------------------------------------------------------- jQuery
+        _advisory(
+            "CVE-2020-7656", "jquery",
+            "< 1.9.0", "< 3.6.0", ("1.9.0",),
+            "2020-05-19", "2013-01-15", xss, poc=True,
+            notes=(
+                "load() executes scripts in fetched HTML; the paper "
+                "reimplemented the PoC (Listings 1-2) and found 79 more "
+                "vulnerable versions than stated."
+            ),
+        ),
+        _advisory(
+            "CVE-2020-11023", "jquery",
+            "1.0.3 ~ 3.5.0", "1.4.0 ~ 3.5.0", ("3.5.0",),
+            "2020-04-10", "2020-04-10", xss,
+            notes="HTML containing <option> elements mishandled.",
+        ),
+        _advisory(
+            "CVE-2020-11022", "jquery",
+            "1.2.0 ~ 3.5.0", "1.12.0 ~ 3.5.0", ("3.5.0",),
+            "2020-04-29", "2020-04-10", xss,
+            notes="htmlPrefilter regex allowed untrusted code execution.",
+        ),
+        _advisory(
+            "CVE-2019-11358", "jquery",
+            "< 3.4.0", None, ("3.4.0",),
+            "2019-03-26", "2019-04-10", AttackType.PROTOTYPE_POLLUTION,
+            notes="jQuery.extend(true, {}, ...) Object.prototype pollution.",
+        ),
+        _advisory(
+            "CVE-2015-9251", "jquery",
+            "1.12.0 ~ 3.0.0", None, ("3.0.0",),
+            "2015-06-26", "2016-06-09", xss,
+            notes="Cross-domain Ajax request text/javascript execution.",
+        ),
+        _advisory(
+            "CVE-2014-6071", "jquery",
+            "1.4.2 ~ 1.6.2", "1.5.0 ~ 2.2.4", ("1.6.2",),
+            "2014-09-01", "2011-06-30", xss, poc=True,
+            notes="Reflected XSS via runtime <option> object creation.",
+        ),
+        _advisory(
+            "CVE-2012-6708", "jquery",
+            "< 1.9.1", "< 1.9.0", ("1.9.1",),
+            "2012-06-19", "2013-02-04", xss,
+            notes="jQuery(strInput) HTML/selector ambiguity.",
+        ),
+        _advisory(
+            "CVE-2011-4969", "jquery",
+            "< 1.6.3", None, ("1.6.3",),
+            "2011-06-05", "2011-09-01", xss,
+            notes="location.hash based selector injection.",
+        ),
+        # -------------------------------------------------------- Bootstrap
+        _advisory(
+            "CVE-2019-8331", "bootstrap",
+            # The report's "< 3.4.1, < 4.3.1" is per release line:
+            # 3.x before 3.4.1 and 4.x before 4.3.1.
+            "< 3.4.1, 4.0.0 ~ 4.3.1", None, ("3.4.1", "4.3.1"),
+            "2019-02-11", "2019-02-13", xss,
+            notes="tooltip/popover data-template XSS.",
+        ),
+        _advisory(
+            "CVE-2018-20676", "bootstrap",
+            "< 3.4.0", "3.2.0 ~ 3.4.0", ("3.4.0",),
+            "2018-08-13", "2018-12-13", xss, poc=False,
+            notes="tooltip data-viewport XSS.",
+        ),
+        _advisory(
+            "CVE-2018-20677", "bootstrap",
+            "< 3.4.0", "3.2.0 ~ 3.4.0", ("3.4.0",),
+            "2019-01-09", "2018-12-13", xss, poc=True,
+            notes="affix data-target XSS.",
+        ),
+        _advisory(
+            "CVE-2018-14042", "bootstrap",
+            "< 4.1.2", "2.3.0 ~ 4.1.2", ("4.1.2",),
+            "2018-05-29", "2018-07-12", xss,
+            notes="popover data-container XSS.",
+        ),
+        _advisory(
+            "CVE-2018-14041", "bootstrap",
+            "< 4.1.2", None, ("4.1.2",),
+            "2018-05-29", "2018-07-12", xss,
+            notes="scrollspy data-target XSS.",
+        ),
+        _advisory(
+            "CVE-2018-14040", "bootstrap",
+            "< 4.1.2", "2.3.0 ~ 4.1.2", ("4.1.2",),
+            "2018-05-29", "2018-07-12", xss, poc=True,
+            notes="collapse data-parent XSS.",
+        ),
+        _advisory(
+            "CVE-2016-10735", "bootstrap",
+            "< 3.4.0", "2.1.0 ~ 3.4.0", ("3.4.0",),
+            "2016-06-27", "2018-12-13", xss, poc=True,
+            notes="data-target attribute XSS.",
+        ),
+        # --------------------------------------------------- jQuery-Migrate
+        _advisory(
+            "JQMIGRATE-2013-XSS", "jquery-migrate",
+            "< 1.2.1", "1.0.0 ~ 3.0.0", ("1.2.1",),
+            "2013-04-18", "2007-09-16", xss, poc=True,
+            notes=(
+                "No CVE ID assigned; reported via snyk.io and "
+                "jquery/jquery-migrate GitHub issue #36."
+            ),
+        ),
+        # -------------------------------------------------------- jQuery-UI
+        _advisory(
+            "CVE-2010-5312", "jquery-ui",
+            "< 1.10.0", None, ("1.10.0",),
+            "2010-09-02", "2013-01-17", xss,
+            notes="dialog title option XSS.",
+        ),
+        _advisory(
+            "CVE-2012-6662", "jquery-ui",
+            "< 1.10.0", None, ("1.10.0",),
+            "2012-11-26", "2013-01-17", xss,
+            notes="tooltip content option XSS.",
+        ),
+        _advisory(
+            "CVE-2016-7103", "jquery-ui",
+            "< 1.12.0", "1.10.0 ~ 1.13.0", ("1.12.0",),
+            "2016-07-21", "2016-07-08", xss, poc=True,
+            notes="dialog closeText option XSS.",
+        ),
+        _advisory(
+            "CVE-2021-41182", "jquery-ui",
+            "< 1.13.0", None, ("1.13.0",),
+            "2021-10-27", "2021-10-07", xss,
+            notes="datepicker altField option XSS.",
+        ),
+        _advisory(
+            "CVE-2021-41183", "jquery-ui",
+            "< 1.13.0", None, ("1.13.0",),
+            "2021-10-27", "2021-10-07", xss,
+            notes="datepicker text options XSS.",
+        ),
+        _advisory(
+            "CVE-2021-41184", "jquery-ui",
+            "< 1.13.0", None, ("1.13.0",),
+            "2021-10-27", "2021-10-07", xss,
+            notes=".position() 'of' option XSS.",
+        ),
+        # ------------------------------------------------------- Underscore
+        _advisory(
+            "CVE-2021-23358", "underscore",
+            "1.3.2 ~ 1.12.1", None, ("1.12.1",),
+            "2021-03-02", "2021-03-19", AttackType.ARBITRARY_CODE_INJECTION,
+            notes="template variable option code injection.",
+        ),
+        # ---------------------------------------------------------- Moment
+        _advisory(
+            "CVE-2017-18214", "moment",
+            "< 2.19.3", None, ("2.19.3",),
+            "2017-09-05", "2017-11-29", AttackType.RESOURCE_EXHAUSTION,
+            notes="ReDoS in duration parsing.",
+        ),
+        _advisory(
+            "CVE-2016-4055", "moment",
+            "< 2.11.2", "2.8.1 ~ 2.15.2", ("2.11.2",),
+            "2016-01-26", "2016-02-07", AttackType.RESOURCE_EXHAUSTION,
+            notes="ReDoS in date parsing.",
+        ),
+        # -------------------------------------------------------- Prototype
+        _advisory(
+            "CVE-2020-27511", "prototype",
+            "<= 1.7.3", "all", (),
+            "2021-06-21", None, AttackType.REDOS, poc=True,
+            notes=(
+                "stripTags/unescapeHTML ReDoS; never patched — the fix PR "
+                "(prototypejs/prototype#349) was never merged."
+            ),
+        ),
+        _advisory(
+            "CVE-2020-7993", "prototype",
+            "< 1.6.0.1", None, (),
+            "2020-02-03", None, AttackType.MISSING_AUTHORIZATION,
+            notes="Affected version no longer available upstream.",
+        ),
+    ]

@@ -1,0 +1,84 @@
+"""Adobe Flash Player advisories.
+
+The paper notes 1,118 Flash CVEs in total; this module embeds the
+representative sample the paper cites (Section 2.2 references [2-6, 8,
+12, 16, 19, 20]) plus the end-of-life marker.  Flash versions follow the
+player's four-component scheme (e.g. ``10.2.152.26``).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List
+
+from .model import Advisory, AttackType
+from .data import _advisory
+
+#: Official Adobe Flash end-of-life date (support stopped; browsers
+#: removed the plug-in in January 2021).
+FLASH_END_OF_LIFE = datetime.date(2020, 12, 31)
+
+
+def flash_advisories() -> List[Advisory]:
+    """The Flash Player CVEs cited by the paper."""
+    mem = AttackType.MEMORY_CORRUPTION
+    return [
+        _advisory(
+            "CVE-2008-4401", "flash-player",
+            "< 9.0.125.0", None, ("9.0.125.0",),
+            "2008-10-07", "2008-10-15", AttackType.OTHER,
+            notes="ActionScript file-upload/download without interaction.",
+        ),
+        _advisory(
+            "CVE-2011-0577", "flash-player",
+            "< 10.2.152.26", None, ("10.2.152.26",),
+            "2011-02-09", "2011-02-08", mem,
+            notes="Remote code execution.",
+        ),
+        _advisory(
+            "CVE-2011-0578", "flash-player",
+            "< 10.2.152.26", None, ("10.2.152.26",),
+            "2011-02-09", "2011-02-08", mem,
+            notes="Memory corruption RCE / DoS.",
+        ),
+        _advisory(
+            "CVE-2011-0607", "flash-player",
+            "< 10.2.152.26", None, ("10.2.152.26",),
+            "2011-02-09", "2011-02-08", mem,
+        ),
+        _advisory(
+            "CVE-2011-0608", "flash-player",
+            "< 10.2.152.26", None, ("10.2.152.26",),
+            "2011-02-09", "2011-02-08", mem,
+        ),
+        _advisory(
+            "CVE-2012-5054", "flash-player",
+            "< 11.4.402.265", None, ("11.4.402.265",),
+            "2012-09-24", "2012-08-21", mem,
+            notes="Matrix3D copyRawDataTo integer overflow.",
+        ),
+        _advisory(
+            "CVE-2014-0510", "flash-player",
+            "<= 12.0.0.77", None, ("13.0.0.182",),
+            "2014-04-29", "2014-04-08", mem,
+            notes="Heap overflow + sandbox bypass (Pwn2Own 2014).",
+        ),
+        _advisory(
+            "CVE-2016-1019", "flash-player",
+            "<= 21.0.0.197", None, ("21.0.0.213",),
+            "2016-04-07", "2016-04-07", mem,
+            notes="Exploited in the wild (Magnitude exploit kit).",
+        ),
+        _advisory(
+            "CVE-2017-3083", "flash-player",
+            "<= 25.0.0.171", None, ("26.0.0.126",),
+            "2017-06-13", "2017-06-13", mem,
+            notes="Primetime SDK use-after-free.",
+        ),
+        _advisory(
+            "CVE-2017-3084", "flash-player",
+            "<= 25.0.0.171", None, ("26.0.0.126",),
+            "2017-06-13", "2017-06-13", mem,
+            notes="Advertising module use-after-free.",
+        ),
+    ]

@@ -1,0 +1,83 @@
+"""Table 4 of the paper as data: top-10 disclosed WordPress CVEs.
+
+The first five are the most recent CVEs at the paper's collection cutoff
+(all medium severity); the last five are the most severe by CVSS score.
+CVE-2012-2399's patch shipped more than a year after disclosure, which
+the paper footnotes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import Advisory, AttackType
+from .data import _advisory
+
+
+def wordpress_advisories() -> List[Advisory]:
+    """The ten WordPress CVEs of the paper's Table 4."""
+    return [
+        # Most recent five.
+        _advisory(
+            "CVE-2022-21664", "wordpress",
+            "4.1.34 ~ 5.8.3", None, ("5.8.3",),
+            "2022-01-06", "2022-01-06", AttackType.SQL_INJECTION,
+            notes="SQL injection through WP_Meta_Query.",
+        ),
+        _advisory(
+            "CVE-2022-21663", "wordpress",
+            "3.7.37 ~ 5.8.3", None, ("5.8.3",),
+            "2022-01-06", "2022-01-06", AttackType.OTHER,
+            notes="Authenticated object injection in multisites.",
+        ),
+        _advisory(
+            "CVE-2022-21662", "wordpress",
+            "3.7.37 ~ 5.8.3", None, ("5.8.3",),
+            "2022-01-06", "2022-01-06", AttackType.XSS,
+            notes="Stored XSS through post slugs.",
+        ),
+        _advisory(
+            "CVE-2022-21661", "wordpress",
+            "3.7.37 ~ 5.8.3", None, ("5.8.3",),
+            "2022-01-06", "2022-01-06", AttackType.SQL_INJECTION,
+            notes="SQL injection via WP_Query.",
+        ),
+        _advisory(
+            "CVE-2021-44223", "wordpress",
+            "< 5.8", None, ("5.8",),
+            "2021-11-25", "2021-07-20", AttackType.OTHER,
+            notes="Unauthenticated takeover via abandoned plugin updates.",
+        ),
+        # Most severe five.
+        _advisory(
+            "CVE-2012-2400", "wordpress",
+            "< 3.3.2", None, ("3.3.2",),
+            "2012-04-21", "2012-04-20", AttackType.OTHER, cvss=10.0,
+            notes="Unspecified SWFUpload vulnerability.",
+        ),
+        _advisory(
+            "CVE-2012-2399", "wordpress",
+            "< 3.5.2", None, ("3.5.2",),
+            "2012-04-21", "2013-06-21", AttackType.OTHER, cvss=10.0,
+            notes="Patched more than a year after disclosure.",
+        ),
+        _advisory(
+            "CVE-2011-3125", "wordpress",
+            "< 3.1.3", None, ("3.1.3",),
+            "2011-08-10", "2011-05-25", AttackType.OTHER, cvss=10.0,
+            notes="Unspecified vulnerability.",
+        ),
+        _advisory(
+            "CVE-2011-3122", "wordpress",
+            "< 3.1.3", None, ("3.1.3",),
+            "2011-08-10", "2011-05-25", AttackType.OTHER, cvss=10.0,
+            notes="Unspecified vulnerability.",
+        ),
+        _advisory(
+            "CVE-2009-2853", "wordpress",
+            "< 2.8.3", None, ("2.8.3",),
+            "2009-08-18", "2009-08-03", AttackType.PRIVILEGE_ESCALATION,
+            cvss=9.3,
+            notes="Admin action privilege escalation.",
+        ),
+    ]

@@ -1,0 +1,33 @@
+"""Synthetic web ecosystem.
+
+The substitution for the paper's unrecoverable four-year Alexa-1M crawl:
+a seeded generator producing a domain population whose landing pages —
+and their evolution across the 201 weekly snapshots — reproduce the
+published marginals and dynamics (library usage shares and trends,
+version mixes, inclusion types, CDN delivery, SRI adoption, WordPress
+platform effects, and Adobe Flash decay).
+
+Public API: :class:`WebEcosystem` (build from a
+:class:`~repro.config.ScenarioConfig`), which exposes ground-truth
+:class:`SiteManifest` objects per (domain, week), renders landing-page
+HTML, and wires every domain plus the CDN hosts onto a
+:class:`~repro.netsim.VirtualNetwork`.
+"""
+
+from .domains import Domain, DomainPopulation, Reachability
+from .libraries import LibraryProfile, library_profiles, RESOURCE_TYPE_SHARES
+from .site import LibraryInclusion, SiteManifest, FlashUsage
+from .ecosystem import WebEcosystem
+
+__all__ = [
+    "Domain",
+    "DomainPopulation",
+    "Reachability",
+    "LibraryProfile",
+    "library_profiles",
+    "RESOURCE_TYPE_SHARES",
+    "SiteManifest",
+    "LibraryInclusion",
+    "FlashUsage",
+    "WebEcosystem",
+]

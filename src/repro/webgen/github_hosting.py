@@ -1,0 +1,41 @@
+"""Libraries served from collaborative-VCS hosting (Table 6).
+
+The paper found an average of 1,670 sites loading JavaScript straight
+from 57 GitHub-pages repositories — with ``wp-r.github.io`` alone
+accounting for 11.3% — and almost none of them using SRI.  This module
+carries the repository/script catalog used to decorate sites that do
+this.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: (script URL, relative popularity weight) — drawn from the paper's
+#: Table 6.  Weights reflect the reported per-repository site counts.
+GITHUB_SCRIPTS: Tuple[Tuple[str, float], ...] = (
+    ("https://wp-r.github.io/adsplacer/adsplacer.min.js", 6.0),
+    ("https://wp-r.github.io/jquery.iframetracker/jquery.iframetracker.js", 5.3),
+    ("https://partnercoll.github.io/actualize.js", 4.0),
+    ("https://kodir2.github.io/actualize.js", 2.0),
+    ("https://malsup.github.com/jquery.form.js", 2.0),
+    ("https://blueimp.github.io/jQuery-File-Upload/js/vendor/jquery.ui.widget.js", 2.0),
+    ("https://afarkas.github.io/lazysizes/lazysizes.min.js", 2.0),
+    ("https://gitcdn.github.io/bootstrap-toggle/2.2.2/js/bootstrap-toggle.min.js", 2.0),
+    ("https://owlcarousel2.github.io/OwlCarousel2/dist/owl.carousel.js", 2.0),
+    ("https://hammerjs.github.io/dist/hammer.min.js", 1.0),
+    ("https://kenwheeler.github.io/slick/slick/slick.js", 1.0),
+    ("https://weblion777.github.io/hdvb.js", 1.0),
+    ("https://actlz.github.io/actualize.js", 1.0),
+    ("https://malihu.github.io/custom-scrollbar/jquery.mCustomScrollbar.concat.min.js", 1.0),
+    ("https://radioafricagroup.github.io/assets/cookiestrip.min.js", 1.0),
+    ("https://radioafricagroup.github.io/assets/jquery.popup.js", 1.0),
+    ("https://klevron.github.io/threejs/OrbitControls.js", 1.0),
+    ("https://jonathantneal.github.io/svg4everybody/dist/svg4everybody.min.js", 1.0),
+    ("https://hayageek.github.io/jQuery-Upload-File/4.0.11/jquery.uploadfile.min.js", 1.0),
+    ("https://assets-cdn.github.com/assets/compat-432e5a3c.js", 1.0),
+    ("https://blueimp.github.io/JavaScript-Templates/js/tmpl.min.js", 0.5),
+    ("https://blueimp.github.io/JavaScript-Load-Image/js/load-image.all.min.js", 0.5),
+    ("https://blueimp.github.io/jQuery-File-Upload/js/jquery.fileupload.js", 0.5),
+    ("https://blueimp.github.io/jQuery-File-Upload/js/jquery.iframe-transport.js", 0.5),
+)

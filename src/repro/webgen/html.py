@@ -1,0 +1,196 @@
+"""Landing-page HTML renderer.
+
+Turns a :class:`~repro.webgen.site.SiteManifest` into the HTML document
+the domain serves that week.  Rendering is a pure function of the
+manifest, and the URL conventions are co-designed with the fingerprint
+engine so that fingerprinting a rendered page recovers the manifest
+(tested as a round-trip property).
+
+URL conventions per delivery channel follow the real-world forms the
+paper's Section 2.1 describes: versions appear in file names
+(``jquery-1.12.4.min.js``), path segments (``/ajax/libs/jquery/1.12.4/``),
+``@version`` package specs (jsDelivr/unpkg), or WordPress-style ``?ver=``
+query strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .site import ExtraScript, FlashUsage, LibraryInclusion, SiteManifest
+
+#: File-name token used for each library in generated URLs.
+FILE_TOKENS: Dict[str, str] = {
+    "jquery": "jquery",
+    "bootstrap": "bootstrap",
+    "jquery-migrate": "jquery-migrate",
+    "jquery-ui": "jquery-ui",
+    "modernizr": "modernizr",
+    "js-cookie": "js.cookie",
+    "underscore": "underscore",
+    "isotope": "isotope.pkgd",
+    "popper": "popper",
+    "moment": "moment",
+    "requirejs": "require",
+    "swfobject": "swfobject",
+    "prototype": "prototype",
+    "jquery-cookie": "jquery.cookie",
+    "polyfill": "polyfill",
+}
+
+#: Directory names on googleapis-style CDNs.
+_GOOGLEAPIS_DIRS: Dict[str, str] = {
+    "jquery": "jquery",
+    "jquery-ui": "jqueryui",
+    "swfobject": "swfobject",
+    "prototype": "prototype",
+}
+
+
+def _plain_filename(library: str) -> str:
+    return f"{FILE_TOKENS[library]}.min.js"
+
+
+def _versioned_filename(library: str, version: str) -> str:
+    return f"{FILE_TOKENS[library]}-{version}.min.js"
+
+
+def script_url(inclusion: LibraryInclusion, wordpress_version: Optional[str]) -> str:
+    """The ``src`` URL for one library inclusion."""
+    library = inclusion.library
+    version = inclusion.version
+
+    if inclusion.wordpress_bundled:
+        path = f"/wp-includes/js/jquery/{_plain_filename(library)}?ver={version}"
+        if inclusion.host is None:
+            return path
+        core = wordpress_version or "5.0"
+        return f"https://{inclusion.host}/c/{core}{path}"
+
+    if inclusion.host is None:
+        if not inclusion.version_visible:
+            return f"/assets/js/{_plain_filename(library)}"
+        return f"/assets/js/{_versioned_filename(library, version)}"
+
+    if not inclusion.version_visible:
+        # Version-less delivery: "latest" paths on CDNs, plain vendored
+        # copies elsewhere.
+        return f"https://{inclusion.host}/latest/{_plain_filename(library)}"
+
+    host = inclusion.host
+    if host in ("ajax.googleapis.com", "ajax.aspnetcdn.com"):
+        directory = _GOOGLEAPIS_DIRS.get(library, library)
+        return f"https://{host}/ajax/libs/{directory}/{version}/{_plain_filename(library)}"
+    if host == "code.jquery.com":
+        if library == "jquery-ui":
+            return f"https://{host}/ui/{version}/jquery-ui.min.js"
+        return f"https://{host}/jquery-{version}.min.js"
+    if host == "cdnjs.cloudflare.com":
+        return f"https://{host}/ajax/libs/{library}/{version}/{_plain_filename(library)}"
+    if host in ("maxcdn.bootstrapcdn.com", "stackpath.bootstrapcdn.com"):
+        return f"https://{host}/bootstrap/{version}/js/bootstrap.min.js"
+    if host in ("cdn.jsdelivr.net",):
+        return f"https://{host}/npm/{library}@{version}/dist/{_plain_filename(library)}"
+    if host == "unpkg.com":
+        return f"https://{host}/{library}@{version}/dist/{_plain_filename(library)}"
+    if host in ("polyfill.io", "cdn.polyfill.io"):
+        return f"https://{host}/v{version}/polyfill.min.js"
+    if host == "widget.trustpilot.com":
+        return f"https://{host}/bootstrap/{version}/tp.widget.bootstrap.min.js"
+    if host == "momentjs.com":
+        return f"https://{host}/downloads/moment-{version}.min.js"
+    # Generic CDN / third-party layout: version in the file name (a
+    # single-component version like polyfill's "3" is not recognizable
+    # as a bare path segment).
+    return f"https://{host}/libs/{library}/{_versioned_filename(library, version)}"
+
+
+def _script_tag(inclusion: LibraryInclusion, wordpress_version: Optional[str]) -> str:
+    attrs = [f'src="{script_url(inclusion, wordpress_version)}"']
+    if inclusion.integrity:
+        attrs.append('integrity="sha384-SIMULATEDSRIDIGESTPLACEHOLDERbase64value0000"')
+    if inclusion.crossorigin is not None:
+        attrs.append(f'crossorigin="{inclusion.crossorigin}"')
+    return f"<script {' '.join(attrs)}></script>"
+
+
+def _extra_script_tag(script: ExtraScript) -> str:
+    attrs = [f'src="{script.url}"']
+    if script.integrity:
+        attrs.append('integrity="sha384-SIMULATEDSRIDIGESTPLACEHOLDERbase64value0000"')
+    return f"<script {' '.join(attrs)}></script>"
+
+
+def _flash_markup(flash: FlashUsage, rank: int) -> str:
+    size = 'width="468" height="60"' if flash.visible else 'width="0" height="0"'
+    access_param = ""
+    access_attr = ""
+    if flash.specified and flash.script_access:
+        access_param = (
+            f'<param name="AllowScriptAccess" value="{flash.script_access}">'
+        )
+        access_attr = f' allowscriptaccess="{flash.script_access}"'
+    if rank % 10 < 7:
+        return (
+            f'<object type="application/x-shockwave-flash" {size}>'
+            f'<param name="movie" value="{flash.swf_url}">'
+            f"{access_param}"
+            "</object>"
+        )
+    return f'<embed src="{flash.swf_url}" type="application/x-shockwave-flash" {size}{access_attr}>'
+
+
+_FILLER = (
+    "<p>Welcome to our website. We provide services, products, news and "
+    "community resources for our visitors. Read the latest updates below "
+    "and subscribe to our newsletter for more.</p>"
+)
+
+
+def render_page(manifest: SiteManifest) -> str:
+    """Render the landing page for one (domain, week) manifest."""
+    domain = manifest.domain
+    head: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head>",
+        "<meta charset=\"utf-8\">",
+        f"<title>{domain.name} — home</title>",
+    ]
+    if manifest.wordpress_version:
+        head.append(
+            f'<meta name="generator" content="WordPress {manifest.wordpress_version}">'
+        )
+    types = manifest.resource_types
+    if "css" in types:
+        head.append('<link rel="stylesheet" href="/css/style.css">')
+    if "favicon" in types:
+        head.append('<link rel="icon" href="/favicon.ico">')
+    if "xml" in types:
+        head.append(
+            '<link rel="alternate" type="application/rss+xml" href="/feed.xml">'
+        )
+
+    for inclusion in manifest.libraries:
+        head.append(_script_tag(inclusion, manifest.wordpress_version))
+    for script in manifest.extra_scripts:
+        head.append(_extra_script_tag(script))
+    if "imported-html" in types:
+        head.append('<script src="/widgets/render.php?section=home"></script>')
+    if "axd" in types:
+        head.append('<script src="/WebResource.axd?d=pageinit"></script>')
+    head.append("</head>")
+
+    body: List[str] = ["<body>", f"<h1>{domain.name}</h1>", _FILLER, _FILLER]
+    if "svg" in types:
+        body.append('<img src="/img/logo.svg" alt="logo">')
+    if manifest.flash is not None:
+        body.append(_flash_markup(manifest.flash, domain.rank))
+    if "javascript" in types:
+        body.append("<script>window.__site={rank:%d};</script>" % domain.rank)
+    body.append("</body></html>")
+    return "\n".join(head + body)
+
+
+def render_antibot_page() -> str:
+    """The short 200-status block page anti-crawling setups serve."""
+    return "<html><body>Not allowed to access.</body></html>"

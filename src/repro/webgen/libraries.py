@@ -1,0 +1,331 @@
+"""Library usage profiles calibrated to the paper's Tables 1 and 5.
+
+Each :class:`LibraryProfile` carries everything the site generator needs
+to make one library's ecosystem-wide statistics come out right:
+
+* usage share at the first and last snapshot (Figure 3 trends);
+* inclusion mix: internal vs external, and the CDN host distribution of
+  external inclusions (Tables 1 and 5);
+* the initial version distribution among sites using the library at the
+  first snapshot (whose weights reproduce the per-range site
+  percentages of Table 2 and the dominant versions of Table 1).
+
+jQuery and jQuery-Migrate have *organic* shares here; the
+WordPress-bundled copies are added by the platform model on top, so the
+totals land on the paper's 64.0% / 20.8%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Average share of sites using each generic resource type — the paper's
+#: Figure 2(b) (Flash is dynamic and handled by the Flash model).
+RESOURCE_TYPE_SHARES: Mapping[str, float] = {
+    "javascript": 0.947,
+    "css": 0.884,
+    "favicon": 0.550,
+    "imported-html": 0.318,
+    "xml": 0.256,
+    "svg": 0.021,
+    "axd": 0.008,
+}
+
+#: A generic, non-catalogued CDN used for the share of external
+#: inclusions not attributable to a Table 5 host.
+GENERIC_CDN = "cdn.static-assets.net"
+
+#: A generic non-CDN third-party host (external but not via CDN).
+GENERIC_THIRD_PARTY = "assets.partner-widgets.com"
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryProfile:
+    """Generation parameters for one library.
+
+    Attributes:
+        name: Canonical library name.
+        share_start: Fraction of sites using the library at week 0.
+        share_end: Fraction at the final week (linear interpolation).
+        internal_fraction: Fraction of inclusions hosted same-origin.
+        cdn_fraction: Of external inclusions, fraction via known CDNs.
+        cdn_hosts: Relative weights of CDN hostnames (Table 5).
+        initial_versions: Relative weights of versions among users at
+            week 0.
+        discontinued: Project no longer maintained (Table 1 footnote 7).
+        migrates_to: Library users migrate to when dropping this one
+            (jquery-cookie -> js-cookie).
+        requires: Library that must also be present (popper -> bootstrap
+            correlation is expressed here as a soft dependency).
+    """
+
+    name: str
+    share_start: float
+    share_end: float
+    internal_fraction: float
+    cdn_fraction: float
+    cdn_hosts: Tuple[Tuple[str, float], ...]
+    initial_versions: Tuple[Tuple[str, float], ...]
+    discontinued: bool = False
+    migrates_to: Optional[str] = None
+    requires: Optional[str] = None
+    #: Fraction of inclusions whose URL exposes the version (Wappalyzer
+    #: cannot read the rest).  Calibrated per library from the affected
+    #: percentages of Table 2 (e.g. CVE-2019-8331 covers essentially all
+    #: pre-2019 Bootstrap yet matched only 27.7% of Bootstrap sites).
+    version_visible_rate: float = 0.70
+
+    @property
+    def trending_up(self) -> bool:
+        return self.share_end > self.share_start
+
+
+def _profile(
+    name: str,
+    share_start: float,
+    share_end: float,
+    internal: float,
+    cdn: float,
+    cdn_hosts: Dict[str, float],
+    versions: Dict[str, float],
+    **kwargs: object,
+) -> LibraryProfile:
+    return LibraryProfile(
+        name=name,
+        share_start=share_start,
+        share_end=share_end,
+        internal_fraction=internal,
+        cdn_fraction=cdn,
+        cdn_hosts=tuple(cdn_hosts.items()),
+        initial_versions=tuple(versions.items()),
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def library_profiles() -> Dict[str, LibraryProfile]:
+    """Profiles for the paper's top-15 libraries, keyed by name."""
+    profiles = [
+        # jQuery: organic share only; WordPress bundling adds ~16.7%.
+        _profile(
+            "jquery", 0.578, 0.532, 0.592, 0.961,
+            {
+                "ajax.googleapis.com": 26.0,
+                "code.jquery.com": 10.0,
+                "cdnjs.cloudflare.com": 7.1,
+                GENERIC_CDN: 49.0,
+            },
+            {
+                # < 1.9.0 tail (Table 2: 12.2% of jQuery users).
+                "1.3.2": 1.2, "1.4.2": 0.7, "1.6.2": 0.5, "1.7.1": 2.9,
+                "1.7.2": 2.3, "1.8.2": 1.7, "1.8.3": 2.9,
+                "1.9.0": 0.3, "1.9.1": 2.3, "1.10.2": 2.7,
+                "1.11.0": 2.0, "1.11.1": 2.7, "1.11.3": 3.5,
+                # Organic 1.12.4 on top of the WordPress-bundled mass.
+                "1.12.4": 9.0,
+                "2.0.3": 1.2, "2.1.1": 1.8, "2.1.4": 2.9, "2.2.4": 3.7,
+                "3.0.0": 1.9, "3.1.1": 3.1, "3.2.1": 5.6, "3.3.1": 16.6,
+            },
+            version_visible_rate=0.62,
+        ),
+        _profile(
+            "bootstrap", 0.228, 0.201, 0.716, 0.707,
+            {
+                "maxcdn.bootstrapcdn.com": 33.6,
+                "widget.trustpilot.com": 10.0,
+                "stackpath.bootstrapcdn.com": 9.7,
+                GENERIC_CDN: 17.4,
+            },
+            {
+                # March 2018 state: the 3.3.x line dominates, 4.0.0 is
+                # freshly released (4.1+ arrives during the study via
+                # updates).
+                "2.3.2": 3.0, "3.0.0": 2.0, "3.1.1": 3.5, "3.2.0": 4.5,
+                "3.3.5": 6.0, "3.3.6": 8.0, "3.3.7": 52.0,
+                "4.0.0": 14.0,
+            },
+            requires="jquery",
+            version_visible_rate=0.34,
+        ),
+        # jQuery-Migrate: organic share only; WordPress adds the rest.
+        _profile(
+            "jquery-migrate", 0.045, 0.040, 0.70, 0.40,
+            {
+                "cdnjs.cloudflare.com": 4.5,
+                "secureservercdn.net": 2.3,
+                GENERIC_CDN: 10.0,
+            },
+            {"1.2.1": 12.0, "1.4.0": 6.0, "1.4.1": 70.0, "3.0.0": 8.0, "3.0.1": 4.0},
+            requires="jquery",
+            version_visible_rate=0.66,
+        ),
+        _profile(
+            "jquery-ui", 0.128, 0.114, 0.497, 0.919,
+            {
+                "ajax.googleapis.com": 49.6,
+                "code.jquery.com": 30.7,
+                "cdnjs.cloudflare.com": 4.2,
+                GENERIC_CDN: 7.0,
+            },
+            {
+                "1.8.24": 3.0, "1.9.2": 3.0, "1.10.3": 6.0, "1.10.4": 9.0,
+                "1.11.2": 6.0, "1.11.4": 17.0, "1.12.0": 5.0, "1.12.1": 51.0,
+            },
+            requires="jquery",
+            version_visible_rate=0.63,
+        ),
+        _profile(
+            "modernizr", 0.102, 0.086, 0.781, 0.682,
+            {
+                "cdnjs.cloudflare.com": 32.4,
+                "cdn.shopify.com": 21.8,
+                "cdn.prestosports.com": 1.0,
+                GENERIC_CDN: 13.0,
+            },
+            {
+                "2.0.6": 3.0, "2.5.3": 5.0, "2.6.2": 34.0, "2.7.1": 9.0,
+                "2.8.3": 26.0, "3.0.0": 5.0, "3.3.1": 6.0, "3.5.0": 8.0,
+                "3.6.0": 4.0,
+            },
+            version_visible_rate=0.60,
+        ),
+        _profile(
+            "js-cookie", 0.024, 0.047, 0.805, 0.865,
+            {
+                "cdn.jsdelivr.net": 21.1,
+                "c0.wp.com": 12.3,
+                "cdnjs.cloudflare.com": 11.5,
+                GENERIC_CDN: 40.0,
+            },
+            {"2.0.0": 2.0, "2.1.0": 3.0, "2.1.3": 4.0, "2.1.4": 86.0, "2.2.0": 5.0},
+            version_visible_rate=0.75,
+        ),
+        _profile(
+            "underscore", 0.019, 0.032, 0.832, 0.497,
+            {
+                "c0.wp.com": 20.5,
+                "cdnjs.cloudflare.com": 13.3,
+                "secureservercdn.net": 1.5,
+                GENERIC_CDN: 14.0,
+            },
+            {
+                "1.4.4": 4.0, "1.5.2": 6.0, "1.6.0": 9.0, "1.7.0": 11.0,
+                "1.8.2": 7.0, "1.8.3": 52.0, "1.9.1": 11.0,
+            },
+            version_visible_rate=0.12,
+        ),
+        _profile(
+            "isotope", 0.020, 0.016, 0.908, 0.246,
+            {
+                "secureservercdn.net": 3.3,
+                "cdn.shopify.com": 2.1,
+                "cdn.jsdelivr.net": 0.8,
+                GENERIC_CDN: 18.0,
+            },
+            {
+                "1.5.25": 4.0, "2.0.0": 6.0, "2.2.2": 14.0, "3.0.0": 7.0,
+                "3.0.3": 9.0, "3.0.4": 40.0, "3.0.5": 10.0, "3.0.6": 10.0,
+            },
+        ),
+        _profile(
+            "popper", 0.009, 0.026, 0.469, 0.920,
+            {
+                "cdnjs.cloudflare.com": 77.3,
+                "cdn.jsdelivr.net": 9.0,
+                "unpkg.com": 2.1,
+                GENERIC_CDN: 3.6,
+            },
+            {"1.12.9": 18.0, "1.14.3": 62.0, "1.14.7": 20.0},
+            requires="bootstrap",
+        ),
+        _profile(
+            "moment", 0.017, 0.015, 0.704, 0.716,
+            {
+                "cdnjs.cloudflare.com": 51.8,
+                "cdn.jsdelivr.net": 6.1,
+                "momentjs.com": 1.7,
+                GENERIC_CDN: 12.0,
+            },
+            {
+                "2.10.6": 8.0, "2.11.2": 5.0, "2.13.0": 6.0, "2.15.2": 9.0,
+                "2.17.1": 10.0, "2.18.1": 27.0, "2.19.3": 8.0, "2.20.1": 13.0,
+                "2.22.2": 14.0,
+            },
+            version_visible_rate=0.40,
+        ),
+        _profile(
+            "requirejs", 0.017, 0.015, 0.648, 0.281,
+            {GENERIC_CDN: 28.1},
+            {"2.1.22": 12.0, "2.2.0": 14.0, "2.3.2": 16.0, "2.3.5": 16.0, "2.3.6": 42.0},
+        ),
+        _profile(
+            "swfobject", 0.016, 0.010, 0.742, 0.633,
+            {
+                "ajax.googleapis.com": 49.1,
+                "cdnjs.cloudflare.com": 3.0,
+                "s0.wp.com": 2.6,
+                GENERIC_CDN: 8.6,
+            },
+            {"1.5": 8.0, "2.0": 10.0, "2.1": 25.0, "2.2": 57.0},
+            discontinued=True,
+        ),
+        _profile(
+            "prototype", 0.011, 0.009, 0.812, 0.579,
+            {
+                "ajax.googleapis.com": 27.7,
+                "strato-editor.com": 3.7,
+                "cdnjs.cloudflare.com": 2.2,
+                GENERIC_CDN: 24.3,
+            },
+            {
+                "1.6.0.3": 6.0, "1.6.1": 14.0, "1.7.0": 12.0, "1.7.1": 48.0,
+                "1.7.2": 10.0, "1.7.3": 10.0,
+            },
+            discontinued=True,
+            version_visible_rate=0.90,
+        ),
+        _profile(
+            "jquery-cookie", 0.013, 0.008, 0.633, 0.865,
+            {
+                "cdnjs.cloudflare.com": 62.6,
+                "cdn.shopify.com": 8.4,
+                "c0.wp.com": 0.9,
+                GENERIC_CDN: 14.6,
+            },
+            {"1.0": 4.0, "1.3.1": 10.0, "1.4.0": 16.0, "1.4.1": 70.0},
+            discontinued=True,
+            migrates_to="js-cookie",
+            requires="jquery",
+        ),
+        _profile(
+            "polyfill", 0.006, 0.013, 0.145, 0.378,
+            {
+                "polyfill.io": 45.4,
+                "cdn.polyfill.io": 30.8,
+                "static.parastorage.com": 4.1,
+                GENERIC_CDN: 2.0,
+            },
+            {"2": 28.0, "3": 72.0},
+        ),
+    ]
+    return {p.name: p for p in profiles}
+
+
+#: The paper's Table 1 ordering (by average usage).
+TOP15_ORDER: Tuple[str, ...] = (
+    "jquery",
+    "bootstrap",
+    "jquery-migrate",
+    "jquery-ui",
+    "modernizr",
+    "js-cookie",
+    "underscore",
+    "isotope",
+    "popper",
+    "moment",
+    "requirejs",
+    "swfobject",
+    "prototype",
+    "jquery-cookie",
+    "polyfill",
+)

@@ -1,0 +1,179 @@
+"""WordPress platform model.
+
+WordPress matters to the paper in three ways:
+
+* 26.9% of sites run it (Figure 9);
+* it *bundles* jQuery and jQuery-Migrate, so platform releases move
+  library versions in lock-step: WordPress 5.5 (Aug 2020) disabled
+  jQuery-Migrate (the Figure 3(a) dip), 5.6 (Dec 2020) re-enabled it and
+  shipped jQuery 3.5.1 (the Figure 7 update wave), and the mid-2021
+  release line moved bundles to jQuery 3.6.0 (the Aug 2021 rise);
+* its auto-update feature is the paper's "main contributor to updating"
+  (Section 7): auto-updating sites adopt new WordPress releases within
+  weeks, dragging their bundled libraries along.
+
+The model assigns each WordPress site an initial core version, an
+update policy (auto vs manual), and produces a version timeline over the
+kept weeks.  :func:`bundled_libraries` maps a core version to the
+(jQuery, jQuery-Migrate) bundle.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import PlatformConfig
+from ..semver import Version, parse_version
+from ..timeline import StudyCalendar, Week
+
+#: WordPress release train during the study: (version, release date).
+#: Patch releases are folded into the majors the paper's appendix uses.
+WORDPRESS_RELEASES: Tuple[Tuple[str, str], ...] = (
+    ("4.7.2", "2017-01-26"),
+    ("4.9.8", "2018-08-02"),
+    ("5.0.3", "2019-01-09"),
+    ("5.1", "2019-02-21"),
+    ("5.2.4", "2019-10-14"),
+    ("5.3", "2019-11-12"),
+    ("5.4.2", "2020-06-10"),
+    ("5.5.1", "2020-09-01"),
+    ("5.6", "2020-12-08"),
+    ("5.7.2", "2021-05-12"),
+    ("5.8.1", "2021-09-09"),
+    ("5.9", "2022-01-25"),
+)
+
+#: Initial WordPress core version mix at the first snapshot (Mar 2018).
+_INITIAL_VERSIONS: Tuple[Tuple[str, float], ...] = (
+    ("4.1.34", 0.02),
+    ("4.7.2", 0.18),
+    ("4.9.8", 0.62),
+    ("3.7.37", 0.03),
+    ("4.9.8", 0.0),  # placeholder weight merged below
+    ("5.0.3", 0.0),
+    ("4.9.8", 0.15),
+)
+
+
+def _initial_version_table() -> Tuple[Tuple[str, float], ...]:
+    merged = {}
+    for version, weight in _INITIAL_VERSIONS:
+        merged[version] = merged.get(version, 0.0) + weight
+    total = sum(merged.values())
+    return tuple((v, w / total) for v, w in merged.items() if w > 0)
+
+
+def bundled_libraries(core_version: str) -> Tuple[str, Optional[str]]:
+    """The (jQuery, jQuery-Migrate) bundle of a WordPress core version.
+
+    Returns:
+        ``(jquery_version, migrate_version_or_None)``.  ``None`` means
+        the platform ships no jQuery-Migrate (WordPress 5.5).
+    """
+    core = parse_version(core_version)
+    if core < Version("5.5"):
+        return "1.12.4", "1.4.1"
+    if core < Version("5.6"):
+        # 5.5 disabled jQuery-Migrate by default.
+        return "1.12.4", None
+    if core < Version("5.8"):
+        return "3.5.1", "3.3.2"
+    return "3.6.0", "3.3.2"
+
+
+class WordPressModel:
+    """Per-site WordPress assignment and version timelines."""
+
+    def __init__(self, config: PlatformConfig, calendar: StudyCalendar) -> None:
+        self.config = config
+        self.calendar = calendar
+        self._initial = _initial_version_table()
+        self._releases: List[Tuple[datetime.date, str]] = sorted(
+            (datetime.date.fromisoformat(d), v) for v, d in WORDPRESS_RELEASES
+        )
+
+    # ------------------------------------------------------------------
+    # Site-level sampling
+    # ------------------------------------------------------------------
+    def uses_wordpress(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.config.wordpress_share)
+
+    def is_auto_updating(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.config.auto_update_share)
+
+    def uses_bundled_jquery(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.config.bundled_jquery_share)
+
+    def initial_version(self, rng: np.random.Generator) -> str:
+        versions = [v for v, _ in self._initial]
+        weights = np.array([w for _, w in self._initial])
+        return versions[int(rng.choice(len(versions), p=weights / weights.sum()))]
+
+    def latest_release_as_of(self, date: datetime.date) -> Optional[str]:
+        index = bisect.bisect_right([d for d, _ in self._releases], date)
+        if index == 0:
+            return None
+        return self._releases[index - 1][1]
+
+    # ------------------------------------------------------------------
+    # Timelines
+    # ------------------------------------------------------------------
+    def version_timeline(
+        self,
+        rng: np.random.Generator,
+        auto_update: bool,
+        laggard_hazard: float = 0.006,
+    ) -> List[Tuple[int, str]]:
+        """Core version changes as ``(kept-week ordinal, version)``.
+
+        Auto-updating sites adopt each new release after a short random
+        lag; manual sites refresh with a small weekly hazard, jumping to
+        the then-latest release.
+        """
+        weeks: Sequence[Week] = self.calendar.weeks
+        start_version = self.initial_version(rng)
+        timeline: List[Tuple[int, str]] = [(0, start_version)]
+        current = parse_version(start_version)
+
+        if auto_update:
+            for release_date, version in self._releases:
+                if release_date < weeks[0].date:
+                    continue
+                if release_date > weeks[-1].date:
+                    break
+                lag_weeks = int(rng.poisson(self.config.auto_update_lag_weeks))
+                adoption_date = release_date + datetime.timedelta(weeks=lag_weeks)
+                week = self.calendar.week_for_date(adoption_date)
+                if adoption_date > weeks[-1].date:
+                    continue
+                if parse_version(version) > current:
+                    timeline.append((week.ordinal, version))
+                    current = parse_version(version)
+            return timeline
+
+        ordinal = 0
+        while True:
+            gap = int(rng.geometric(laggard_hazard))
+            ordinal += gap
+            if ordinal >= len(weeks):
+                break
+            latest = self.latest_release_as_of(weeks[ordinal].date)
+            if latest is not None and parse_version(latest) > current:
+                timeline.append((ordinal, latest))
+                current = parse_version(latest)
+        return timeline
+
+    @staticmethod
+    def version_at(timeline: Sequence[Tuple[int, str]], ordinal: int) -> str:
+        """The version in effect at a kept-week ordinal."""
+        version = timeline[0][1]
+        for change_ordinal, changed_version in timeline:
+            if change_ordinal <= ordinal:
+                version = changed_version
+            else:
+                break
+        return version

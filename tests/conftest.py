@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+A single small scenario is crawled once per test session and reused by
+every analysis test — the pipeline is deterministic, so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScenarioConfig, Study
+from repro.fingerprint import FingerprintEngine
+from repro.vulndb import VersionMatcher, default_database
+from repro.webgen import WebEcosystem
+
+
+SMALL_POPULATION = 500
+SEED = 123
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ScenarioConfig:
+    return ScenarioConfig(population=SMALL_POPULATION, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def ecosystem(small_config) -> WebEcosystem:
+    return WebEcosystem(small_config)
+
+
+@pytest.fixture(scope="session")
+def study(small_config) -> Study:
+    """A fully crawled small study (manifest mode, all 201 weeks)."""
+    study = Study(small_config)
+    study.run()
+    return study
+
+
+@pytest.fixture(scope="session")
+def store(study):
+    return study.store
+
+
+@pytest.fixture(scope="session")
+def engine() -> FingerprintEngine:
+    return FingerprintEngine()
+
+
+@pytest.fixture(scope="session")
+def database():
+    return default_database()
+
+
+@pytest.fixture(scope="session")
+def matcher(database) -> VersionMatcher:
+    return VersionMatcher(database)

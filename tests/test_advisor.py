@@ -1,0 +1,161 @@
+"""The site scanner (Section 9 recommendations as code)."""
+
+import datetime
+
+import pytest
+
+from repro.advisor import Finding, ScanReport, Severity, SiteScanner
+
+
+@pytest.fixture(scope="module")
+def scanner():
+    return SiteScanner(as_of=datetime.date(2022, 2, 1))
+
+
+def _scan(scanner, html):
+    return scanner.scan_html(html, "https://victim.example/")
+
+
+class TestVulnerableLibraryRule:
+    def test_known_vulnerable_version(self, scanner):
+        report = _scan(scanner, '<script src="/js/jquery-1.12.4.min.js"></script>')
+        rules = report.by_rule()
+        hits = rules["vulnerable-library"]
+        ids = {a for f in hits for a in f.advisories}
+        assert "CVE-2020-11023" in ids and "CVE-2020-11022" in ids
+
+    def test_undisclosed_flag_for_understated(self, scanner):
+        # jQuery 2.0.0 is safe per CVE-2014-6071's stated range but truly
+        # vulnerable per the paper's TVV (1.5.0 - 2.2.4).
+        report = _scan(scanner, '<script src="/js/jquery-2.0.0.min.js"></script>')
+        undisclosed = [f for f in report.findings if f.undisclosed]
+        assert any("CVE-2014-6071" in f.advisories for f in undisclosed)
+
+    def test_exploitability_via_poclab(self, scanner):
+        report = _scan(scanner, '<script src="/js/jquery-1.8.3.min.js"></script>')
+        exploitable = [f for f in report.findings if f.exploitable]
+        assert any("CVE-2020-7656" in f.advisories for f in exploitable)
+
+    def test_remediation_is_an_upgrade(self, scanner):
+        from repro.semver import Version
+
+        report = _scan(scanner, '<script src="/js/jquery-1.8.3.min.js"></script>')
+        for finding in report.by_rule().get("vulnerable-library", []):
+            target = finding.remediation.split()[2]
+            assert Version(target) > Version("1.8.3"), finding.remediation
+
+    def test_latest_version_is_clean(self, scanner):
+        report = _scan(scanner, '<script src="/js/jquery-3.6.0.min.js"></script>')
+        assert "vulnerable-library" not in report.by_rule()
+
+    def test_disclosure_cutoff(self):
+        early = SiteScanner(as_of=datetime.date(2015, 1, 1))
+        report = early.scan_html(
+            '<script src="/js/jquery-1.12.4.min.js"></script>',
+            "https://x.example/",
+        )
+        ids = {a for f in report.findings for a in f.advisories}
+        assert "CVE-2020-11022" not in ids  # not disclosed yet in 2015
+
+
+class TestOtherRules:
+    def test_discontinued_library(self, scanner):
+        report = _scan(
+            scanner, '<script src="/js/jquery.cookie-1.4.1.min.js"></script>'
+        )
+        findings = report.by_rule()["discontinued-library"]
+        assert "js-cookie" in findings[0].remediation
+
+    def test_unversioned_library(self, scanner):
+        report = _scan(scanner, '<script src="/assets/js/modernizr.min.js"></script>')
+        assert "unversioned-library" in report.by_rule()
+
+    def test_missing_sri(self, scanner):
+        html = '<script src="https://cdnjs.cloudflare.com/ajax/libs/jquery/3.6.0/jquery.min.js"></script>'
+        report = _scan(scanner, html)
+        assert "missing-sri" in report.by_rule()
+
+    def test_sri_present_no_finding(self, scanner):
+        html = (
+            '<script src="https://cdnjs.cloudflare.com/ajax/libs/jquery/3.6.0/jquery.min.js"'
+            ' integrity="sha384-ok" crossorigin="anonymous"></script>'
+        )
+        report = _scan(scanner, html)
+        assert "missing-sri" not in report.by_rule()
+
+    def test_use_credentials(self, scanner):
+        html = (
+            '<script src="https://cdnjs.cloudflare.com/ajax/libs/jquery/3.6.0/jquery.min.js"'
+            ' integrity="sha384-ok" crossorigin="use-credentials"></script>'
+        )
+        report = _scan(scanner, html)
+        assert "crossorigin-credentials" in report.by_rule()
+
+    def test_untrusted_host(self, scanner):
+        html = '<script src="https://someone.github.io/lib/x.js"></script>'
+        report = _scan(scanner, html)
+        assert "untrusted-host" in report.by_rule()
+
+    def test_flash_rules(self, scanner):
+        html = '<embed src="/m.swf" width="1" height="1" allowscriptaccess="always">'
+        report = _scan(scanner, html)
+        rules = report.by_rule()
+        assert "flash-eol" in rules
+        assert "flash-script-access" in rules
+        assert rules["flash-eol"][0].severity is Severity.HIGH
+
+    def test_outdated_wordpress(self, scanner):
+        html = '<meta name="generator" content="WordPress 5.0.3">'
+        report = _scan(scanner, html)
+        finding = report.by_rule()["outdated-platform"][0]
+        assert finding.severity is Severity.HIGH  # known core CVEs apply
+        assert finding.advisories
+
+    def test_current_wordpress_clean(self, scanner):
+        html = '<meta name="generator" content="WordPress 5.9">'
+        report = _scan(scanner, html)
+        assert "outdated-platform" not in report.by_rule()
+
+    def test_clean_page(self, scanner):
+        report = _scan(scanner, "<html><body>static page</body></html>")
+        assert len(report) == 0
+        assert report.worst is Severity.INFO
+
+
+class TestReportType:
+    def test_sorted_most_severe_first(self, scanner):
+        html = (
+            '<script src="/js/jquery-1.12.4.min.js"></script>'
+            '<script src="/assets/js/modernizr.min.js"></script>'
+        )
+        report = _scan(scanner, html)
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_summary_line(self, scanner):
+        report = _scan(scanner, '<script src="/js/jquery-1.12.4.min.js"></script>')
+        line = report.summary_line()
+        assert "victim.example" in line and "critical" in line
+
+    def test_counts(self, scanner):
+        report = _scan(scanner, '<script src="/js/jquery-1.12.4.min.js"></script>')
+        counts = report.counts()
+        assert sum(counts.values()) == len(report)
+
+
+class TestScanUrl:
+    def test_over_virtual_network(self, scanner, ecosystem):
+        from repro.webgen.domains import Reachability
+
+        domain = next(
+            d
+            for d in ecosystem.population
+            if d.reachability is Reachability.STABLE
+        )
+        ecosystem.set_week(0)
+        report = scanner.scan_url(ecosystem.network, f"https://{domain.name}/")
+        assert report.page_url.endswith("/")
+
+    def test_unreachable(self, scanner, ecosystem):
+        report = scanner.scan_url(ecosystem.network, "https://nope.invalid/")
+        assert report.findings[0].rule == "unreachable"

@@ -1,0 +1,260 @@
+"""Analyses over the shared crawled study (paper-shape assertions)."""
+
+import pytest
+
+from repro.analysis import (
+    cve_accuracy,
+    dominant,
+    external,
+    flash as flash_analysis,
+    landscape,
+    overview,
+    updates,
+    vulnerable,
+    wordpress,
+)
+from repro.vulndb import MatchMode, RangeAccuracy
+
+
+class TestOverview:
+    def test_collection_series(self, study):
+        series = study.collection_series()
+        assert len(series.collected) == 201
+        assert series.average > 0
+
+    def test_javascript_dominates(self, study):
+        usage = study.resource_usage()
+        ranked = usage.ranked()
+        assert ranked[0][0] == "javascript"
+        assert usage.averages["javascript"] > 0.9
+        assert usage.averages["css"] > usage.averages["favicon"]
+
+    def test_flash_is_minor(self, study):
+        usage = study.resource_usage()
+        assert usage.averages["flash"] < 0.05
+
+
+class TestLandscape:
+    @pytest.fixture(scope="class")
+    def result(self, study):
+        return study.landscape()
+
+    def test_jquery_is_top(self, result):
+        assert result.rows[0].library == "jquery"
+        assert 0.5 < result.rows[0].usage_share < 0.8
+
+    def test_usage_ordering_matches_paper_head(self, result):
+        top4 = [row.library for row in result.rows[:4]]
+        assert top4[0] == "jquery"
+        assert set(top4[1:]) >= {"bootstrap", "jquery-migrate"}
+
+    def test_dominant_versions(self, result):
+        assert result.row("jquery").dominant_version == "1.12.4"
+        assert result.row("jquery-migrate").dominant_version == "1.4.1"
+        assert result.row("bootstrap").dominant_version == "3.3.7"
+
+    def test_vulnerability_counts_from_table2(self, result):
+        assert result.row("jquery").vulnerability_count == 8
+        assert result.row("bootstrap").vulnerability_count == 7
+        assert result.row("modernizr").vulnerability_count == 0
+
+    def test_cdn_share_high_for_jquery(self, result):
+        assert result.row("jquery").cdn_share_of_external > 0.85
+
+    def test_top_cdns_include_table5_hosts(self, result):
+        hosts = [host for host, _ in result.top_cdns["jquery"]]
+        assert "ajax.googleapis.com" in hosts
+
+    def test_migrate_dip(self, result):
+        before, minimum, after = landscape.migrate_dip(result)
+        assert minimum < before * 0.8  # visible dip
+        assert after > minimum  # and recovery
+
+    def test_usage_series_length(self, result):
+        assert all(len(s) == 201 for s in result.usage_series.values())
+
+
+class TestVulnerable:
+    def test_prevalence_in_paper_band(self, study):
+        result = study.prevalence()
+        cve = result.average_share[MatchMode.CVE]
+        tvv = result.average_share[MatchMode.TVV]
+        assert 0.30 < cve < 0.60  # paper: 41.2%
+        assert tvv > cve  # TVV reveals more (paper: +2 points)
+
+    def test_gap_grows_over_years(self, study):
+        result = study.prevalence()
+        gap = {
+            year: result.yearly_share[MatchMode.TVV][year]
+            - result.yearly_share[MatchMode.CVE][year]
+            for year in result.yearly_share[MatchMode.CVE]
+        }
+        assert gap[2022] > gap[2018]
+
+    def test_cdf_tvv_dominates_cve(self, study):
+        cdf = study.vulnerability_cdf()
+        assert cdf.mean[MatchMode.TVV] > cdf.mean[MatchMode.CVE]
+        # CDF is monotone and ends at 1.
+        for mode in (MatchMode.CVE, MatchMode.TVV):
+            fractions = [f for _, f in cdf.cdf[mode]]
+            assert fractions == sorted(fractions)
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_fraction_at_most(self, study):
+        cdf = study.vulnerability_cdf()
+        assert cdf.fraction_at_most(MatchMode.CVE, 10_000) == pytest.approx(1.0)
+        assert 0 < cdf.fraction_at_most(MatchMode.CVE, 0) < 1
+
+
+class TestDominant:
+    def test_jquery_1124_dominant_and_vulnerable(self, study):
+        results = {
+            d.library: d for d in study.dominant_versions()
+        }
+        jquery = results["jquery"]
+        assert jquery.version == "1.12.4"
+        assert jquery.cve_count == 4  # the paper's four CVEs
+
+    def test_discontinued_still_used(self, study):
+        usage = {d.library: d for d in study.discontinued()}
+        assert usage["jquery-cookie"].average_share > 0
+        assert usage["swfobject"].average_share > 0
+
+    def test_cookie_migration_partial(self, study):
+        migration = study.cookie_migration()
+        if migration.ever_used_legacy >= 5:
+            assert 0.0 < migration.migration_share < 1.0
+
+
+class TestCveAccuracy:
+    def test_table2_counts(self, study):
+        summary = study.cve_accuracy_summary()
+        counts = summary.counts(cve_only=True)
+        assert counts[RangeAccuracy.UNDERSTATED] == 5
+        assert counts[RangeAccuracy.OVERSTATED] == 8
+        assert summary.incorrect_cves == 13
+
+    def test_affected_series_understated_reveals_more(self, study):
+        series = study.affected_series("CVE-2020-7656")
+        assert series.average_true > series.average_stated
+        assert series.average_undisclosed > 0
+
+    def test_affected_series_overstated_reveals_fewer(self, study):
+        series = study.affected_series("CVE-2020-11022")
+        assert series.average_true < series.average_stated
+
+    def test_refinement(self, study):
+        result = study.refinement()
+        assert result.average_share_tvv > result.average_share_cve
+        assert result.affected_by_incorrect > 0
+
+    def test_interval_comparison_bands(self, database):
+        advisory = database.get("CVE-2020-7656")
+        comparison = cve_accuracy.interval_comparison(advisory)
+        assert "1.10.1" in comparison.understated_band()
+        assert comparison.overstated_band() == ()
+
+    def test_interval_comparison_overstated(self, database):
+        advisory = database.get("CVE-2012-6708")
+        comparison = cve_accuracy.interval_comparison(advisory)
+        assert "1.9.0" in comparison.overstated_band()
+
+
+class TestUpdates:
+    def test_delays_substantial(self, study):
+        result = study.update_delays()
+        assert result.total_updated_sites > 0
+        # The paper: 531.2 days; we assert the order of magnitude.
+        assert 150 < result.mean_delay_days < 1200
+
+    def test_censored_sites_exist(self, study):
+        # Frozen developers never update: censoring must be visible.
+        result = study.update_delays()
+        assert result.total_censored_sites > 0
+
+    def test_understatement_penalty_positive(self, study):
+        penalty = study.understatement_penalty()
+        assert penalty.true_mean_days > penalty.stated_mean_days
+
+    def test_december_2020_wave(self, study):
+        wave = updates.december_2020_wave(study.store)
+        assert wave["old_drop"] > 0.1  # 1.12.4 falls
+        assert wave["new_rise"] > 0.1  # 3.5.1 rises
+
+    def test_version_trends_shapes(self, study):
+        trends = study.version_trends("jquery", ["1.12.4", "3.5.1"])
+        assert len(trends.series["1.12.4"]) == 201
+        # 3.5.1 did not exist before April 2020.
+        early = sum(
+            c for c, d in zip(trends.series["3.5.1"], trends.dates) if d < "2020-04"
+        )
+        assert early == 0
+
+    def test_wordpress_jquery_trends(self, study):
+        trends = study.wordpress_jquery_trends(["1.12.4", "3.5.1"])
+        assert sum(trends.series["1.12.4"]) > 0
+
+    def test_affected_version_trends(self, study, database):
+        advisory = database.get("CVE-2020-7656")
+        trends = updates.affected_version_trends(study.store, advisory)
+        assert trends.series  # some affected versions observed
+        for version in trends.series:
+            assert advisory.stated_range.contains(version)
+
+
+class TestFlash:
+    def test_usage_decays(self, study):
+        usage = study.flash_usage()
+        assert usage.start_count > usage.end_count
+        assert usage.average_after_eol > 0
+
+    def test_script_access_share_in_band(self, study):
+        # The always-share *growth* is asserted at benchmark scale
+        # (bench_fig11) and in the flash-model mechanism test; at this
+        # tiny population only the average is statistically stable.
+        result = study.flash_script_access()
+        assert 0.05 < result.average_always_share < 0.50  # paper: 24.7%
+
+    def test_browser_matrix(self):
+        assert flash_analysis.flash_supporting_browsers() == ["360 Browser"]
+
+    def test_case_study_rows(self, study):
+        rows = study.flash_case_study()
+        for row in rows:
+            assert row.rank <= 10_000
+
+
+class TestWordPress:
+    def test_usage_share_near_paper(self, study):
+        usage = study.wordpress_usage()
+        assert 0.18 < usage.average_share < 0.36  # paper: 26.9%
+
+    def test_recent_cves_hit_most_sites(self, study):
+        rows = study.wordpress_cves()
+        recent, severe = wordpress.recent_vs_severe_exposure(rows)
+        assert recent > 0.5  # paper: 97.7%
+        assert severe < 0.05  # paper: 0.36%
+
+    def test_swfobject_wordpress_overlap(self, study):
+        share = wordpress.library_platform_overlap(study.store, "swfobject")
+        assert 0.0 <= share <= 1.0
+
+
+class TestExternal:
+    def test_sri_nearly_absent(self, study):
+        result = study.sri()
+        assert result.average_missing_share > 0.95  # paper: 99.7%
+
+    def test_crossorigin_anonymous_dominates(self, study):
+        result = study.sri()
+        shares = result.crossorigin_shares
+        if shares:
+            top_value = max(shares, key=shares.get)
+            assert top_value == "anonymous"
+
+    def test_untrusted_hosting(self, study):
+        result = study.untrusted()
+        assert result.average_sites >= 0
+        assert result.integrity_share <= 0.5
+        for row in result.rows:
+            assert row.host.endswith((".io", ".com", ".org"))

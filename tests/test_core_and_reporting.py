@@ -1,0 +1,140 @@
+"""Study orchestration, results, reporting, determinism."""
+
+import pytest
+
+from repro import ScenarioConfig, Study
+from repro.errors import AnalysisError, ConfigError
+from repro.reporting import StudyReport, Table, format_count, format_percent, sparkline
+from repro.reporting.series import render_series
+from repro.vulndb import MatchMode
+
+
+class TestConfig:
+    def test_behavior_mix_must_sum(self):
+        from repro.config import BehaviorMix
+
+        with pytest.raises(ConfigError):
+            BehaviorMix(frozen=0.5, laggard=0.5, responsive=0.5)
+
+    def test_population_positive(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(population=0)
+
+    def test_scale_factor(self):
+        config = ScenarioConfig(population=782_300)
+        assert config.scale_factor == pytest.approx(1.0)
+
+    def test_platform_fractions_validated(self):
+        from repro.config import PlatformConfig
+
+        with pytest.raises(ConfigError):
+            PlatformConfig(wordpress_share=1.5)
+
+
+class TestStudy:
+    def test_analyses_require_run(self):
+        study = Study(ScenarioConfig(population=50, seed=2))
+        with pytest.raises(AnalysisError):
+            study.prevalence()
+        with pytest.raises(AnalysisError):
+            _ = study.crawl_report
+
+    def test_results_summary(self, study):
+        results = study.results()
+        lines = results.summary_lines()
+        assert any("41.2%" in line for line in lines)  # paper anchors cited
+        assert results.vulnerable_share[MatchMode.TVV] >= results.vulnerable_share[
+            MatchMode.CVE
+        ]
+        assert results.incorrect_cves == 13
+        assert results.total_cves == 27
+
+    def test_poc_lab_accessor(self, study):
+        lab = study.poc_lab()
+        assert len(lab.available_pocs()) == 26
+
+    def test_hash_audit(self, study):
+        audit = study.hash_audit(max_domains=40)
+        assert audit.files_checked > 0
+        assert audit.all_mismatches_benign  # the paper's Section 9 finding
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        config = ScenarioConfig(population=120, seed=99)
+        first = Study(config)
+        first.run(weeks=first.config.calendar.weeks[:10])
+        second = Study(config)
+        second.run(weeks=second.config.calendar.weeks[:10])
+        for ordinal in range(10):
+            a = first.store.weeks[ordinal]
+            b = second.store.weeks[ordinal]
+            assert a.collected == b.collected
+            assert dict(a.version_counts) == dict(b.version_counts)
+            assert a.vulnerable_sites == b.vulnerable_sites
+
+    def test_different_seed_differs(self):
+        base = ScenarioConfig(population=200, seed=1)
+        other = ScenarioConfig(population=200, seed=2)
+        a = Study(base)
+        a.run(weeks=base.calendar.weeks[:3])
+        b = Study(other)
+        b.run(weeks=other.calendar.weeks[:3])
+        assert dict(a.store.weeks[0].version_counts) != dict(
+            b.store.weeks[0].version_counts
+        )
+
+
+class TestReportingPrimitives:
+    def test_format_helpers(self):
+        assert format_percent(0.412) == "41.2%"
+        assert format_count(25337.4) == "25,337"
+
+    def test_table_render(self):
+        table = Table(["a", "bb"], title="T")
+        table.add_row("x", 1)
+        text = table.render()
+        assert "T" in text and "a" in text and "x" in text
+        assert len(table) == 1
+
+    def test_table_cell_count_enforced(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 3, 2, 1, 0])
+        assert len(line) == 7
+        assert line[0] != line[3]
+
+    def test_sparkline_resamples(self):
+        assert len(sparkline(list(range(500)), width=60)) == 60
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_render_series(self):
+        text = render_series(["2018-03-05", "2018-03-12"], [1, 2], "x")
+        assert "x" in text and "2018-03" in text
+
+
+class TestStudyReport:
+    @pytest.fixture(scope="class")
+    def report(self, study):
+        return StudyReport(study)
+
+    def test_headline(self, report):
+        assert "vulnerable" in report.headline()
+
+    def test_table1(self, report):
+        text = report.table1()
+        assert "jquery" in text and "1.12.4" in text
+
+    def test_table2(self, report):
+        text = report.table2()
+        assert "CVE-2020-7656" in text and "understated" in text
+
+    def test_full_render(self, report):
+        text = report.render()
+        for marker in ("Figure 2", "Table 1", "Table 2", "Section 7", "Figure 8"):
+            assert marker in text

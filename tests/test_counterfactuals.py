@@ -1,0 +1,83 @@
+"""Counterfactual interventions (Section 9 suggestions)."""
+
+import pytest
+
+from repro import ScenarioConfig
+from repro.analysis.counterfactuals import (
+    BUILTIN_INTERVENTIONS,
+    _run,
+    evaluate,
+    no_auto_update,
+    responsive_web,
+    universal_auto_update,
+)
+
+_CONFIG = ScenarioConfig(population=400, seed=321)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run(_CONFIG)
+
+
+class TestTransforms:
+    def test_universal_auto_update_config(self):
+        transformed = universal_auto_update(_CONFIG)
+        assert transformed.platform.auto_update_share == 1.0
+        assert transformed.platform.bundled_jquery_share == 1.0
+        assert transformed.population == _CONFIG.population
+
+    def test_no_auto_update_config(self):
+        assert no_auto_update(_CONFIG).platform.auto_update_share == 0.0
+
+    def test_responsive_web_config(self):
+        transformed = responsive_web(_CONFIG)
+        assert transformed.behavior.frozen == 0.0
+
+    def test_baseline_untouched(self):
+        universal_auto_update(_CONFIG)
+        assert _CONFIG.platform.auto_update_share < 1.0  # frozen dataclass
+
+
+class TestOutcomes:
+    def test_universal_auto_update_helps_after_patches_exist(self, baseline):
+        result = evaluate("universal-auto-update", _CONFIG, baseline=baseline)
+        # Auto-updating cannot help before a patched bundle ships (all
+        # of WordPress rode jQuery 1.12.4 until Dec 2020); in the
+        # post-wave era it lowers prevalence and it always produces more
+        # update events.
+        assert (
+            result.intervention.vulnerable_share_late
+            < result.baseline.vulnerable_share_late
+        )
+        assert result.intervention.updated_sites > result.baseline.updated_sites
+
+    def test_no_auto_update_hurts(self, baseline):
+        result = evaluate("no-auto-update", _CONFIG, baseline=baseline)
+        assert (
+            result.intervention.vulnerable_share
+            >= result.baseline.vulnerable_share - 0.005
+        )
+        # Fewer sites ever update.
+        assert result.intervention.updated_sites <= result.baseline.updated_sites
+
+    def test_responsive_web_updates_more(self, baseline):
+        result = evaluate("responsive-web", _CONFIG, baseline=baseline)
+        assert result.intervention.updated_sites > result.baseline.updated_sites
+        assert result.intervention.censored_sites < result.baseline.censored_sites
+
+    def test_summary_text(self, baseline):
+        result = evaluate("no-auto-update", _CONFIG, baseline=baseline)
+        assert "vulnerable share" in result.summary()
+
+    def test_custom_transform(self, baseline):
+        result = evaluate(
+            "identity", _CONFIG, transform=lambda c: c, baseline=baseline
+        )
+        # Same config, same seed: identical outcomes.
+        assert result.prevalence_delta == pytest.approx(0.0)
+        assert result.delay_delta_days == pytest.approx(0.0)
+
+    def test_unknown_builtin(self, baseline):
+        with pytest.raises(KeyError):
+            evaluate("warp-speed", _CONFIG, baseline=baseline)

@@ -1,0 +1,77 @@
+"""Subresource Integrity primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FingerprintError
+from repro.fingerprint.sri import (
+    compute_integrity,
+    parse_integrity,
+    verify_integrity,
+)
+
+
+class TestCompute:
+    def test_known_shape(self):
+        token = compute_integrity(b"hello", "sha256")
+        assert token.startswith("sha256-")
+        assert len(token) > 20
+
+    def test_algorithms_differ(self):
+        assert compute_integrity(b"x", "sha256") != compute_integrity(b"x", "sha512")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(FingerprintError):
+            compute_integrity(b"x", "md5")
+
+
+class TestParse:
+    def test_valid_tokens(self):
+        tokens = parse_integrity("sha256-abc sha384-def=")
+        assert [t.algorithm for t in tokens] == ["sha256", "sha384"]
+
+    def test_malformed_skipped(self):
+        assert parse_integrity("md5-x not-a-token sha999-y") == []
+
+    def test_empty(self):
+        assert parse_integrity("") == []
+
+
+class TestVerify:
+    def test_match(self):
+        body = b"console.log(1);"
+        assert verify_integrity(body, compute_integrity(body))
+
+    def test_mismatch(self):
+        assert not verify_integrity(b"evil", compute_integrity(b"good"))
+
+    def test_strongest_algorithm_wins(self):
+        body = b"lib"
+        good_weak = compute_integrity(body, "sha256")
+        bad_strong = compute_integrity(b"other", "sha512")
+        # Browser only consults the strongest listed algorithm.
+        assert not verify_integrity(body, f"{good_weak} {bad_strong}")
+
+    def test_any_match_within_strongest(self):
+        body = b"lib"
+        assert verify_integrity(
+            body,
+            f"{compute_integrity(b'other', 'sha384')} {compute_integrity(body, 'sha384')}",
+        )
+
+    def test_no_valid_tokens_is_unconstrained(self):
+        assert verify_integrity(b"anything", "garbage")
+
+
+@given(st.binary(max_size=256))
+def test_roundtrip_property(body):
+    """Property: content always verifies against its own digest."""
+    for algorithm in ("sha256", "sha384", "sha512"):
+        assert verify_integrity(body, compute_integrity(body, algorithm))
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+def test_tamper_detected_property(a, b):
+    """Property: differing content fails verification."""
+    if a != b:
+        assert not verify_integrity(b, compute_integrity(a))

@@ -1,0 +1,81 @@
+"""Version-extraction heuristics."""
+
+import pytest
+
+from repro.fingerprint.versions import (
+    extract_version,
+    version_from_filename,
+    version_from_path_segment,
+    version_from_query,
+)
+
+
+class TestFilename:
+    def test_dash_version(self):
+        assert version_from_filename("jquery-1.12.4.min.js", "jquery") == "1.12.4"
+
+    def test_dot_token(self):
+        assert version_from_filename("js.cookie-2.1.4.min.js", "js.cookie") == "2.1.4"
+
+    def test_no_version(self):
+        assert version_from_filename("jquery.min.js", "jquery") is None
+
+    def test_v_prefix(self):
+        assert version_from_filename("modernizr-v2.6.2.js", "modernizr") == "2.6.2"
+
+    def test_four_component(self):
+        assert version_from_filename("prototype-1.6.0.1.min.js", "prototype") == "1.6.0.1"
+
+
+class TestQuery:
+    def test_ver(self):
+        assert version_from_query("ver=1.12.4") == "1.12.4"
+
+    def test_version_param(self):
+        assert version_from_query("a=1&version=3.5.1") == "3.5.1"
+
+    def test_absent(self):
+        assert version_from_query("cache=123abc") is None
+        assert version_from_query("") is None
+
+
+class TestPathSegment:
+    def test_dotted_segment(self):
+        assert version_from_path_segment("/ajax/libs/jquery/1.12.4/jquery.min.js") == "1.12.4"
+
+    def test_at_version(self):
+        assert version_from_path_segment("/npm/js-cookie@2.1.4/dist/js.cookie.min.js") == "2.1.4"
+
+    def test_major_only_v(self):
+        assert version_from_path_segment("/v3/polyfill.min.js") == "3"
+
+    def test_latest_not_a_version(self):
+        assert version_from_path_segment("/latest/jquery.min.js") is None
+
+
+class TestPriority:
+    def test_filename_beats_everything(self):
+        version = extract_version(
+            "/1.0.0/jquery-2.0.0.min.js", "ver=3.0.0", "jquery-2.0.0.min.js", "jquery"
+        )
+        assert version == "2.0.0"
+
+    def test_query_beats_path(self):
+        # The c0.wp.com shape: platform version in the path, library
+        # version in the query.
+        version = extract_version(
+            "/c/5.8.1/wp-includes/js/jquery/jquery.min.js",
+            "ver=3.5.1",
+            "jquery.min.js",
+            "jquery",
+        )
+        assert version == "3.5.1"
+
+    def test_path_as_fallback(self):
+        version = extract_version(
+            "/bootstrap/3.3.7/js/bootstrap.min.js", "", "bootstrap.min.js", "bootstrap"
+        )
+        assert version == "3.3.7"
+
+    def test_nothing(self):
+        assert extract_version("/assets/js/app.js", "", "app.js", "jquery") is None

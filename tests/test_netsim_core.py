@@ -1,0 +1,208 @@
+"""HTTP types, DNS, virtual network routing and failure injection."""
+
+import pytest
+
+from repro.errors import ConnectionFailed, DNSError, NetworkError, RequestTimeout
+from repro.netsim import (
+    FailureModel,
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    Resolver,
+    StaticHost,
+    VirtualNetwork,
+    parse_url,
+    reason_phrase,
+    text_response,
+)
+from repro.netsim.network import HostCondition
+from repro.netsim.server import FunctionHost, not_found
+
+
+class TestHeaders:
+    def test_case_insensitive(self):
+        headers = Headers({"Content-Type": "text/html"})
+        assert headers.get("content-type") == "text/html"
+        assert "CONTENT-TYPE" in headers
+
+    def test_last_wins(self):
+        headers = Headers()
+        headers.set("X-A", "1")
+        headers.set("x-a", "2")
+        assert headers.get("X-A") == "2"
+        assert len(headers) == 1
+
+    def test_copy_isolated(self):
+        headers = Headers({"a": "1"})
+        clone = headers.copy()
+        clone.set("a", "2")
+        assert headers.get("a") == "1"
+
+
+class TestResponses:
+    def test_reason_phrases(self):
+        assert reason_phrase(200) == "OK"
+        assert reason_phrase(404) == "Not Found"
+        assert reason_phrase(999) == "Unknown"
+
+    def test_text_response(self):
+        response = text_response("hello", status=201)
+        assert response.status == 201
+        assert response.text == "hello"
+        assert response.content_length == 5
+        assert response.ok
+
+    def test_redirect_detection(self):
+        response = HttpResponse(status=302, headers=Headers({"Location": "/next"}))
+        assert response.is_redirect
+        assert response.redirect_target() == "/next"
+
+    def test_error_classification(self):
+        assert HttpResponse(status=404).is_client_error
+        assert HttpResponse(status=503).is_server_error
+
+    def test_content_type(self):
+        response = text_response("x", content_type="text/css; charset=utf-8")
+        assert response.content_type == "text/css"
+
+    def test_not_found_body_mentions_path(self):
+        assert "/missing" in not_found("/missing").text
+
+
+class TestResolver:
+    def test_register_resolve(self):
+        resolver = Resolver()
+        ip = resolver.register("example.com")
+        assert resolver.resolve("EXAMPLE.com") == ip
+
+    def test_deterministic_addresses(self):
+        assert Resolver().register("a.com") == Resolver().register("a.com")
+
+    def test_nxdomain(self):
+        resolver = Resolver()
+        with pytest.raises(DNSError):
+            resolver.resolve("missing.example")
+        assert resolver.failures == 1
+
+    def test_retire_restore(self):
+        resolver = Resolver()
+        resolver.register("x.com")
+        resolver.retire("x.com")
+        assert not resolver.is_registered("x.com")
+        with pytest.raises(DNSError):
+            resolver.resolve("x.com")
+        resolver.restore("x.com")
+        assert resolver.resolve("x.com")
+
+
+class TestStaticHost:
+    def test_serves_routes(self):
+        host = StaticHost("x.com", {"/": "<html>home</html>"})
+        response = host.handle(HttpRequest.get("https://x.com/"))
+        assert response.ok and "home" in response.text
+
+    def test_404(self):
+        host = StaticHost("x.com", {})
+        assert host.handle(HttpRequest.get("https://x.com/nope")).status == 404
+
+    def test_js_content_type(self):
+        host = StaticHost("x.com", {"/a.js": "var x=1;"})
+        response = host.handle(HttpRequest.get("https://x.com/a.js"))
+        assert response.content_type == "application/javascript"
+
+
+class TestVirtualNetwork:
+    def _network(self):
+        network = VirtualNetwork()
+        network.attach("site.example", StaticHost("site.example", {"/": "<html>hello world</html>"}))
+        return network
+
+    def test_roundtrip(self):
+        network = self._network()
+        response = network.send(HttpRequest.get("https://site.example/"))
+        assert response.ok
+        assert network.stats.requests == 1
+        assert network.stats.bytes_received == response.content_length
+
+    def test_unknown_host_dns_error(self):
+        network = self._network()
+        with pytest.raises(DNSError):
+            network.send(HttpRequest.get("https://ghost.example/"))
+        assert network.stats.dns_failures == 1
+
+    def test_detach_retires(self):
+        network = self._network()
+        network.detach("site.example")
+        with pytest.raises(DNSError):
+            network.send(HttpRequest.get("https://site.example/"))
+
+    def test_failure_injection_deterministic(self):
+        model = FailureModel(seed=7)
+        model.set_condition("flaky.example", HostCondition(connect_failure_rate=0.5))
+        outcomes_a = [model.outcome("flaky.example", 0, i) for i in range(50)]
+        clone = FailureModel(seed=7)
+        clone.set_condition("flaky.example", HostCondition(connect_failure_rate=0.5))
+        outcomes_b = [clone.outcome("flaky.example", 0, i) for i in range(50)]
+        assert outcomes_a == outcomes_b
+        assert "connect_failure" in outcomes_a
+        assert "ok" in outcomes_a
+
+    def test_failure_rate_validated(self):
+        with pytest.raises(NetworkError):
+            HostCondition(connect_failure_rate=1.5)
+
+    def test_connect_failure_raised(self):
+        network = self._network()
+        network.failures.set_condition(
+            "site.example", HostCondition(connect_failure_rate=1.0)
+        )
+        with pytest.raises(ConnectionFailed):
+            network.send(HttpRequest.get("https://site.example/"))
+
+    def test_timeout_raised(self):
+        network = self._network()
+        network.failures.set_condition("site.example", HostCondition(timeout_rate=1.0))
+        with pytest.raises(RequestTimeout):
+            network.send(HttpRequest.get("https://site.example/"))
+
+    def test_server_error_injected(self):
+        network = self._network()
+        network.failures.set_condition(
+            "site.example", HostCondition(server_error_rate=1.0)
+        )
+        response = network.send(HttpRequest.get("https://site.example/"))
+        assert response.status == 503
+
+    def test_reset_ordinals_restores_schedule(self):
+        network = self._network()
+        network.failures.set_condition(
+            "site.example", HostCondition(connect_failure_rate=0.5)
+        )
+        def outcomes():
+            results = []
+            for _ in range(10):
+                try:
+                    network.send(HttpRequest.get("https://site.example/"))
+                    results.append("ok")
+                except ConnectionFailed:
+                    results.append("fail")
+            return results
+
+        first = outcomes()
+        network.reset_ordinals()
+        assert outcomes() == first
+
+    def test_nothing_listening(self):
+        network = self._network()
+        network.resolver.register("dangling.example")
+        with pytest.raises(ConnectionFailed):
+            network.send(HttpRequest.get("https://dangling.example/"))
+
+    def test_function_host(self):
+        network = VirtualNetwork()
+        network.attach(
+            "fn.example",
+            FunctionHost("fn.example", lambda req: text_response(req.url.path)),
+        )
+        response = network.send(HttpRequest.get("https://fn.example/echo"))
+        assert response.text == "/echo"

@@ -1,0 +1,114 @@
+"""URL parsing and joining."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.netsim import parse_url, urljoin
+
+
+class TestParse:
+    def test_basic(self):
+        url = parse_url("https://example.com/a/b.js?x=1#frag")
+        assert url.scheme == "https"
+        assert url.host == "example.com"
+        assert url.path == "/a/b.js"
+        assert url.query == "x=1"
+        assert url.fragment == "frag"
+
+    def test_default_path(self):
+        assert parse_url("https://example.com").path == "/"
+
+    def test_port(self):
+        url = parse_url("http://example.com:8080/x")
+        assert url.port == 8080
+        assert url.origin == "http://example.com:8080"
+
+    def test_default_port_hidden_in_origin(self):
+        assert parse_url("https://example.com:443/").origin == "https://example.com"
+
+    def test_host_lowercased(self):
+        assert parse_url("https://EXAMPLE.com/").host == "example.com"
+
+    def test_protocol_relative(self):
+        url = parse_url("//cdn.example.com/lib.js")
+        assert url.scheme == "https"
+        assert url.host == "cdn.example.com"
+
+    def test_schemeless_with_host(self):
+        url = parse_url("example.com/x.js")
+        assert url.host == "example.com"
+        assert url.path == "/x.js"
+
+    def test_userinfo_stripped(self):
+        assert parse_url("https://user:pw@example.com/").host == "example.com"
+
+    @pytest.mark.parametrize("bad", ["", "   ", "/just/a/path", "no-dots"])
+    def test_rejects_hostless(self, bad):
+        with pytest.raises(NetworkError):
+            parse_url(bad)
+
+    def test_filename(self):
+        assert parse_url("https://x.com/a/jquery.min.js").filename == "jquery.min.js"
+        assert parse_url("https://x.com/a/").filename == ""
+
+    def test_request_target(self):
+        assert parse_url("https://x.com/a?b=1").request_target == "/a?b=1"
+
+    def test_str_roundtrip(self):
+        text = "https://example.com/a/b?c=d#e"
+        assert str(parse_url(text)) == text
+
+
+class TestJoin:
+    BASE = parse_url("https://site.example/dir/page.html")
+
+    def test_absolute_reference(self):
+        joined = urljoin(self.BASE, "https://other.example/x.js")
+        assert joined.host == "other.example"
+
+    def test_root_relative(self):
+        assert urljoin(self.BASE, "/js/a.js").path == "/js/a.js"
+
+    def test_path_relative(self):
+        assert urljoin(self.BASE, "a.js").path == "/dir/a.js"
+
+    def test_dotdot(self):
+        assert urljoin(self.BASE, "../up.js").path == "/up.js"
+
+    def test_protocol_relative(self):
+        joined = urljoin(self.BASE, "//cdn.example/x.js")
+        assert joined.scheme == "https"
+        assert joined.host == "cdn.example"
+
+    def test_query_preserved(self):
+        joined = urljoin(self.BASE, "/a.js?ver=1.12.4")
+        assert joined.query == "ver=1.12.4"
+
+    def test_empty_reference_is_base(self):
+        assert urljoin(self.BASE, "") == self.BASE
+
+    def test_query_only_reference(self):
+        joined = urljoin(self.BASE, "?x=1")
+        assert joined.path == self.BASE.path
+        assert joined.query == "x=1"
+
+
+_HOSTS = st.from_regex(r"[a-z]{2,8}\.(com|net|org)", fullmatch=True)
+_PATHS = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=5), min_size=0, max_size=4
+).map(lambda segs: "/" + "/".join(segs))
+
+
+@given(_HOSTS, _PATHS)
+def test_parse_roundtrip_property(host, path):
+    url = parse_url(f"https://{host}{path}")
+    reparsed = parse_url(str(url))
+    assert reparsed.host == url.host
+    assert reparsed.path == url.path
+
+
+@given(_PATHS)
+def test_join_root_relative_property(path):
+    base = parse_url("https://a.com/x/y")
+    assert urljoin(base, path or "/").path.startswith("/")

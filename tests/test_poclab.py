@@ -1,0 +1,160 @@
+"""PoC lab: DOM, behaviour models, and the validation sweep."""
+
+import pytest
+
+from repro.errors import EnvironmentSetupError, PocError
+from repro.poclab import (
+    Document,
+    Environment,
+    EnvironmentFactory,
+    ValidationLab,
+    default_pocs,
+    poc_for,
+)
+from repro.vulndb import RangeAccuracy, classify_accuracy, default_database
+
+
+class TestDocument:
+    def test_alert_recorded(self):
+        dom = Document()
+        dom.execute_script('alert("pwned")')
+        assert dom.alerts == ["pwned"]
+        assert dom.exploited
+
+    def test_innerhtml_scripts_inert(self):
+        dom = Document()
+        dom.parse_html("<script>alert('x')</script>", execute_scripts=False)
+        assert not dom.exploited
+
+    def test_script_execution_opt_in(self):
+        dom = Document()
+        dom.parse_html("<script>alert('x')</script>", execute_scripts=True)
+        assert dom.exploited
+
+    def test_img_onerror_fires(self):
+        dom = Document()
+        dom.parse_html('<img src=x onerror=alert("y")>')
+        assert dom.alerts == ["y"]
+
+    def test_handlers_suppressible(self):
+        dom = Document()
+        dom.parse_html('<img src=x onerror=alert("y")>', fire_handlers=False)
+        assert not dom.exploited
+
+
+class TestModels:
+    def test_jquery_load_gate(self):
+        vulnerable = Environment("jquery", "3.5.1")
+        vulnerable.model.load("<script>alert('x')</script>")
+        assert vulnerable.exploited
+
+        fixed = Environment("jquery", "3.6.0")
+        fixed.model.load("<script>alert('x')</script>")
+        assert not fixed.exploited
+
+    def test_jquery_selector_ambiguity_gate(self):
+        old = Environment("jquery", "1.8.3")
+        old.model.construct('#x <img src=x onerror=alert("a")>')
+        assert old.exploited
+
+        fixed = Environment("jquery", "1.9.0")
+        fixed.model.construct('#x <img src=x onerror=alert("a")>')
+        assert not fixed.exploited
+
+    def test_jquery_explicit_html_always_parses(self):
+        env = Environment("jquery", "3.6.0")
+        env.model.construct('<img src=x onerror=alert("a")>')
+        assert env.exploited  # explicit HTML input is the caller's choice
+
+    def test_bootstrap_branch_gates(self):
+        for version, expected in (("3.3.7", True), ("3.4.1", False),
+                                  ("4.2.1", True), ("4.3.1", False)):
+            env = Environment("bootstrap", version)
+            env.model.tooltip_template('<img src=x onerror=alert("b")>')
+            assert env.exploited is expected, version
+
+    def test_moment_redos_gate(self):
+        slow = Environment("moment", "2.10.6")
+        fast = Environment("moment", "2.19.3")
+        payload = "-" * 2048
+        assert slow.model.parse_duration_steps(payload) > len(payload) ** 1.5
+        assert fast.model.parse_duration_steps(payload) == len(payload)
+
+    def test_prototype_never_patched(self):
+        for version in ("1.5.0", "1.7.3"):
+            env = Environment("prototype", version)
+            assert env.model.strip_tags_steps("-" * 2048) == 2048 * 2048
+
+    def test_unknown_library(self):
+        with pytest.raises(EnvironmentSetupError):
+            Environment("left-pad", "1.0.0")
+
+
+class TestPocPrograms:
+    def test_poc_lookup(self):
+        assert poc_for("cve-2020-7656").library == "jquery"
+        with pytest.raises(PocError):
+            poc_for("CVE-0000-0000")
+
+    def test_poc_rejects_wrong_environment(self):
+        poc = poc_for("CVE-2020-7656")
+        with pytest.raises(PocError):
+            poc.execute(Environment("bootstrap", "3.3.7"))
+
+    def test_every_poc_fires_somewhere_and_not_everywhere(self):
+        """Each PoC must discriminate between versions (except the
+        never-patched Prototype ReDoS, which fires everywhere)."""
+        factory = EnvironmentFactory()
+        for poc in default_pocs():
+            outcomes = {
+                poc.execute(env) for env in factory.sweep(poc.library)
+            }
+            if poc.advisory_id == "CVE-2020-27511":
+                assert outcomes == {True}
+            else:
+                assert outcomes == {True, False}, poc.advisory_id
+
+
+class TestValidationLab:
+    @pytest.fixture(scope="class")
+    def lab(self):
+        return ValidationLab(default_database())
+
+    def test_sweep_discovers_tvv_for_7656(self, lab):
+        discovered = lab.sweep("CVE-2020-7656")
+        assert "1.10.1" in discovered.vulnerable_versions  # beyond stated <1.9.0
+        assert "3.5.1" in discovered.vulnerable_versions
+        assert "3.6.0" in discovered.safe_versions
+
+    def test_sweep_matches_recorded_tvv_ranges(self, lab):
+        """The lab's discoveries reproduce Table 2's TVVs exactly."""
+        from repro.semver import builtin_catalogs
+
+        catalogs = builtin_catalogs()
+        database = default_database()
+        for advisory_id in lab.available_pocs():
+            advisory = database.get(advisory_id)
+            discovered = lab.sweep(advisory_id)
+            catalog = catalogs[advisory.library]
+            expected = {
+                str(r.version)
+                for r in catalog.in_range(advisory.effective_range)
+            }
+            assert set(discovered.vulnerable_versions) == expected, advisory_id
+
+    def test_classification_agrees_with_recorded(self, lab):
+        for verdict in lab.classify_all():
+            assert verdict.verdict == classify_accuracy(verdict.advisory), (
+                verdict.advisory.identifier
+            )
+
+    def test_summary_counts_match_paper(self, lab):
+        summary = lab.summary()
+        assert summary[RangeAccuracy.UNDERSTATED] == 6  # 5 CVEs + migrate
+        assert summary[RangeAccuracy.OVERSTATED] == 8
+
+    def test_discovered_range_as_range_set(self, lab):
+        discovered = lab.sweep("CVE-2016-7103")
+        range_set = discovered.as_range_set()
+        assert range_set.contains("1.12.1")
+        assert not range_set.contains("1.13.0")

@@ -1,0 +1,141 @@
+"""Regression analysis, store persistence, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.regressions import Regression, find_regressions
+from repro.crawler.persistence import (
+    load_store,
+    save_store,
+    store_from_dict,
+    store_to_dict,
+)
+from repro.errors import StoreError
+from repro.vulndb import MatchMode
+
+
+class TestRegressions:
+    def test_no_false_positives_on_monotone_trajectories(self, store, matcher):
+        result = find_regressions(store, matcher)
+        # The generator never downgrades, so any regression here would be
+        # a pipeline bug.
+        assert result.downgrade_count == 0
+        assert result.sites_with_updates > 0
+
+    def test_detects_injected_downgrade(self, store, matcher):
+        # Clone the trajectories and inject a rollback past a patch
+        # boundary: 3.5.1 -> 1.12.4 re-enters four jQuery CVE ranges.
+        import copy
+
+        hacked = copy.deepcopy(store.trajectories)
+        hacked[999_999] = {"jquery": [(0, "3.5.1"), (50, "1.12.4")]}
+
+        class _FakeStore:
+            trajectories = hacked
+
+        result = find_regressions(_FakeStore(), matcher)
+        assert result.downgrade_count == 1
+        regression = result.regressions[0]
+        assert regression.is_security_regression
+        assert "CVE-2020-11022" in regression.reintroduced
+        assert result.by_library() == {"jquery": 1}
+
+    def test_downgrade_without_security_impact(self, matcher):
+        class _FakeStore:
+            trajectories = {1: {"jquery": [(0, "3.6.0"), (10, "3.5.1")]}}
+
+        result = find_regressions(_FakeStore(), matcher)
+        assert result.downgrade_count == 1
+        # 3.5.1 has no stated-range CVEs, so no security regression.
+        assert not result.regressions[0].is_security_regression
+
+
+class TestPersistence:
+    def test_roundtrip(self, store, study, tmp_path):
+        path = tmp_path / "store.json"
+        save_store(store, path)
+        loaded = load_store(path, study.config.calendar)
+
+        assert loaded.total_observations == store.total_observations
+        assert loaded.observed_domains == store.observed_domains
+        for ordinal in (0, 100, 200):
+            a = store.weeks[ordinal]
+            b = loaded.weeks[ordinal]
+            assert a.collected == b.collected
+            assert dict(a.version_counts) == dict(b.version_counts)
+            assert dict(a.library_users) == dict(b.library_users)
+            assert a.vulnerable_sites == b.vulnerable_sites
+            assert dict(a.advisory_sites[MatchMode.TVV]) == dict(
+                b.advisory_sites[MatchMode.TVV]
+            )
+        assert loaded.trajectories == store.trajectories
+        assert loaded.flash_spans == store.flash_spans
+
+    def test_analyses_identical_after_reload(self, store, study, tmp_path):
+        from repro.analysis.vulnerable import prevalence
+
+        path = tmp_path / "store.json"
+        save_store(store, path)
+        loaded = load_store(path, study.config.calendar)
+        assert (
+            prevalence(loaded).average_share == prevalence(store).average_share
+        )
+
+    def test_bad_format_rejected(self, study):
+        with pytest.raises(StoreError):
+            store_from_dict({"format": 999}, study.config.calendar)
+
+    def test_json_serializable(self, store):
+        assert json.dumps(store_to_dict(store))
+
+
+class TestCli:
+    def test_scan_vulnerable_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        page = tmp_path / "page.html"
+        page.write_text('<script src="/js/jquery-1.12.4.min.js"></script>')
+        exit_code = main(["scan", str(page)])
+        output = capsys.readouterr().out
+        assert exit_code == 1  # findings present
+        assert "vulnerable-library" in output
+
+    def test_scan_clean_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        page = tmp_path / "page.html"
+        page.write_text("<html><body>nothing here</body></html>")
+        assert main(["scan", str(page)]) == 0
+
+    def test_scan_missing_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["scan", "/no/such/file.html"]) == 2
+
+    def test_validate(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        output = capsys.readouterr().out
+        assert "understated" in output and "CVE-2020-7656" in output
+
+    def test_run_small(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_path = tmp_path / "s.json"
+        code = main(
+            [
+                "run",
+                "--population",
+                "60",
+                "--seed",
+                "5",
+                "--save-store",
+                str(store_path),
+            ]
+        )
+        assert code == 0
+        assert store_path.exists()
+        output = capsys.readouterr().out
+        assert "Table 1" in output

@@ -1,0 +1,121 @@
+"""Release catalogs."""
+
+import datetime
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.semver import (
+    ReleaseCatalog,
+    Version,
+    builtin_catalogs,
+    catalog_for,
+    parse_range,
+)
+
+
+def _d(text):
+    return datetime.date.fromisoformat(text)
+
+
+class TestReleaseCatalog:
+    def test_sorted_by_version(self):
+        catalog = ReleaseCatalog(
+            "x", [("2.0", _d("2020-01-01")), ("1.0", _d("2019-01-01"))]
+        )
+        assert [str(v) for v in catalog.versions] == ["1.0", "2.0"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(CatalogError):
+            ReleaseCatalog("x", [("1.0", _d("2019-01-01")), ("1.0.0", _d("2019-02-01"))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            ReleaseCatalog("x", [])
+
+    def test_get_and_date_of(self):
+        catalog = catalog_for("jquery")
+        assert catalog.date_of("3.5.0") == _d("2020-04-10")
+        with pytest.raises(CatalogError):
+            catalog.get("99.99.99")
+
+    def test_released_on_or_before(self):
+        catalog = catalog_for("jquery")
+        available = catalog.released_on_or_before(_d("2013-01-01"))
+        versions = {str(r.version) for r in available}
+        assert "1.8.3" in versions
+        assert "1.9.0" not in versions
+
+    def test_latest_as_of(self):
+        catalog = catalog_for("jquery")
+        latest = catalog.latest_as_of(_d("2018-03-05"))
+        assert str(latest.version) == "3.3.1"
+
+    def test_latest_as_of_before_history(self):
+        catalog = catalog_for("jquery")
+        assert catalog.latest_as_of(_d("1999-01-01")) is None
+
+    def test_in_range(self):
+        catalog = catalog_for("jquery")
+        affected = catalog.in_range(parse_range("1.4.2 ~ 1.6.2"))
+        versions = [str(r.version) for r in affected]
+        assert "1.4.2" in versions and "1.6.1" in versions
+        assert "1.6.2" not in versions
+
+    def test_successors_and_next(self):
+        catalog = catalog_for("jquery")
+        succ = catalog.successors("3.5.1")
+        assert [str(r.version) for r in succ] == ["3.6.0"]
+        assert str(catalog.next_release("3.5.1").version) == "3.6.0"
+        assert catalog.next_release("3.6.0") is None
+
+    def test_first_outside(self):
+        catalog = catalog_for("jquery")
+        patched = catalog.first_outside(parse_range("< 3.5.0"), after="1.12.4")
+        assert str(patched.version) == "3.5.0"
+
+    def test_contains(self):
+        catalog = catalog_for("jquery")
+        assert "1.12.4" in catalog
+        assert "0.0.1" not in catalog
+        assert 3.5 not in catalog
+
+
+class TestBuiltinCatalogs:
+    def test_all_top15_present(self):
+        catalogs = builtin_catalogs()
+        for library in (
+            "jquery", "bootstrap", "jquery-migrate", "jquery-ui", "modernizr",
+            "js-cookie", "underscore", "isotope", "popper", "moment",
+            "requirejs", "swfobject", "prototype", "jquery-cookie", "polyfill",
+            "wordpress",
+        ):
+            assert library in catalogs, library
+
+    def test_jquery_has_paper_scale_history(self):
+        # The paper swept 85 environments from 1.0 to 3.7; our catalog
+        # covers the 80 releases up to the collection cutoff.
+        assert len(catalog_for("jquery")) >= 75
+
+    def test_dates_monotone_within_major_lines(self):
+        catalog = catalog_for("jquery")
+        by_line = {}
+        for release in catalog:
+            line = (release.version.major, release.version.minor)
+            if line in by_line:
+                assert release.date >= by_line[line]
+            by_line[line] = release.date
+
+    def test_unknown_library(self):
+        with pytest.raises(CatalogError):
+            catalog_for("left-pad")
+
+    def test_cve_boundary_versions_exist(self):
+        """Every version bounding a Table 2 range is catalogued."""
+        from repro.vulndb.data import library_advisories
+
+        catalogs = builtin_catalogs()
+        for advisory in library_advisories():
+            catalog = catalogs[advisory.library]
+            for patched in advisory.patched_versions:
+                assert patched in catalog, (advisory.identifier, patched)

@@ -1,0 +1,126 @@
+"""Version range parsing and containment (Table 2 notation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VersionError
+from repro.semver import AllVersions, NoVersions, Version, parse_range
+
+
+class TestParsing:
+    def test_less_than(self):
+        r = parse_range("< 1.9.0")
+        assert r.contains("1.8.3")
+        assert not r.contains("1.9.0")
+
+    def test_less_equal(self):
+        r = parse_range("<= 1.7.3")
+        assert r.contains("1.7.3")
+        assert not r.contains("1.7.4")
+
+    def test_greater_than(self):
+        r = parse_range("> 2.0")
+        assert r.contains("2.0.1")
+        assert not r.contains("2.0")
+
+    def test_tilde_interval_inclusive_exclusive(self):
+        r = parse_range("1.0.3 ~ 3.5.0")
+        assert r.contains("1.0.3")
+        assert r.contains("3.4.1")
+        assert not r.contains("3.5.0")
+        assert not r.contains("1.0.2")
+
+    def test_and_compound(self):
+        r = parse_range(">= 1.5.0 and < 2.2.4")
+        assert r.contains("1.5.0")
+        assert r.contains("2.2.3")
+        assert not r.contains("2.2.4")
+        assert not r.contains("1.4.2")
+
+    def test_comma_union(self):
+        r = parse_range("< 3.4.1, 4.0.0 ~ 4.3.1")
+        assert r.contains("3.3.7")
+        assert r.contains("4.2.1")
+        assert not r.contains("3.4.1")
+        assert not r.contains("4.3.1")
+
+    def test_all_versions(self):
+        r = parse_range("all versions")
+        assert r.contains("0.0.1") and r.contains("99.0")
+
+    def test_exact_version(self):
+        r = parse_range("== 1.4.1")
+        assert r.contains("1.4.1")
+        assert not r.contains("1.4.0")
+
+    def test_bare_version_is_exact(self):
+        r = parse_range("2.2")
+        assert r.contains("2.2.0")
+        assert not r.contains("2.2.1")
+
+    def test_none(self):
+        r = parse_range("none")
+        assert r.is_empty
+        assert not r.contains("1.0")
+
+    @pytest.mark.parametrize("bad", ["", "  ", "< ", ">= x and < y"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(VersionError):
+            parse_range(bad)
+
+    def test_conflicting_bounds_rejected(self):
+        with pytest.raises(VersionError):
+            parse_range(">= 1.0 and >= 2.0")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(VersionError):
+            parse_range("3.0 ~ 1.0")
+
+
+class TestSetOperations:
+    def test_filter_sorts_and_selects(self):
+        r = parse_range("< 2.0")
+        kept = r.filter(["2.1", "1.9", "0.5", "1.0"])
+        assert [str(v) for v in kept] == ["0.5", "1.0", "1.9"]
+
+    def test_describe_roundtrip_source(self):
+        text = ">= 1.5.0 and < 2.2.4"
+        assert parse_range(text).describe() == text
+
+    def test_contains_dunder(self):
+        r = parse_range("< 2.0")
+        assert "1.0" in r
+        assert Version("1.0") in r
+        assert 42 not in r
+
+    def test_all_none_helpers(self):
+        assert AllVersions().contains("5.5.5")
+        assert NoVersions().is_empty
+
+    def test_equality_and_hash(self):
+        assert parse_range("< 1.0") == parse_range("< 1.0")
+        assert hash(parse_range("< 1.0")) == hash(parse_range("< 1.0"))
+
+
+@given(
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=40),
+)
+def test_interval_containment_property(low, span, probe):
+    """Property: x in [low, high) iff low <= x < high."""
+    high = low + span + 1
+    r = parse_range(f"{low}.0 ~ {high}.0")
+    inside = low <= probe < high
+    assert r.contains(f"{probe}.0") == inside
+
+
+@given(st.integers(min_value=0, max_value=99), st.integers(min_value=0, max_value=99))
+def test_union_is_or(a, b):
+    """Property: membership in a union == membership in either part."""
+    r = parse_range(f"< {a}.0, < {b}.0")
+    for probe in {0, a - 1, a, b - 1, b, max(a, b) + 1}:
+        if probe < 0:
+            continue
+        expected = probe < a or probe < b
+        assert r.contains(f"{probe}.0") == expected

@@ -1,0 +1,112 @@
+"""Version parsing and ordering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VersionError
+from repro.semver import Version, parse_version
+
+
+class TestParsing:
+    def test_three_component(self):
+        v = Version("1.12.4")
+        assert v.release == (1, 12, 4)
+        assert (v.major, v.minor, v.patch) == (1, 12, 4)
+
+    def test_two_component(self):
+        v = Version("2.2")
+        assert v.release == (2, 2)
+        assert v.patch == 0
+
+    def test_single_component(self):
+        assert Version("3").major == 3
+
+    def test_four_component_prototype_style(self):
+        v = Version("1.6.0.1")
+        assert v.release == (1, 6, 0, 1)
+
+    def test_v_prefix(self):
+        assert Version("v3.5.1") == Version("3.5.1")
+
+    def test_prerelease(self):
+        v = Version("3.0.0-rc1")
+        assert v.is_prerelease
+        assert v.prerelease == "rc1"
+
+    def test_whitespace_tolerated(self):
+        assert Version("  1.2.3 ") == Version("1.2.3")
+
+    @pytest.mark.parametrize("bad", ["", "abc", "..", "-1.2", "1..2", None, 1.2])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(VersionError):
+            Version(bad)
+
+    def test_parse_version_idempotent(self):
+        v = Version("1.2.3")
+        assert parse_version(v) is v
+
+
+class TestOrdering:
+    def test_basic_order(self):
+        assert Version("1.12.4") < Version("3.5.0")
+
+    def test_minor_vs_patch(self):
+        assert Version("1.9.1") > Version("1.9.0")
+        assert Version("1.10.0") > Version("1.9.1")
+
+    def test_numeric_not_lexicographic(self):
+        assert Version("1.12.0") > Version("1.9.1")
+
+    def test_padding_equality(self):
+        assert Version("1.2") == Version("1.2.0")
+        assert hash(Version("1.2")) == hash(Version("1.2.0"))
+
+    def test_four_components(self):
+        assert Version("1.6.0.1") > Version("1.6.0")
+        assert Version("1.6.0.1") < Version("1.6.1")
+
+    def test_prerelease_sorts_before_release(self):
+        assert Version("3.0.0-rc1") < Version("3.0.0")
+        assert Version("3.0.0-beta") < Version("3.0.0-rc1")
+
+    def test_total_ordering_helpers(self):
+        assert Version("1.0") <= Version("1.0.0")
+        assert Version("2.0") >= Version("1.9.9")
+
+    def test_not_equal_other_types(self):
+        assert Version("1.0") != "1.0"
+
+
+class TestDerivation:
+    def test_bump_patch(self):
+        assert Version("1.7.3").bump_patch() == Version("1.7.4")
+        assert Version("2.2").bump_patch() == Version("2.2.1")
+
+    def test_truncated(self):
+        assert Version("1.6.0.1").truncated(2) == Version("1.6")
+
+    def test_truncated_rejects_zero(self):
+        with pytest.raises(VersionError):
+            Version("1.2.3").truncated(0)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=4),
+    st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=4),
+)
+def test_ordering_matches_padded_tuples(a, b):
+    """Property: Version order == zero-padded tuple order."""
+    va = Version(".".join(map(str, a)))
+    vb = Version(".".join(map(str, b)))
+    width = max(len(a), len(b))
+    ta = tuple(a) + (0,) * (width - len(a))
+    tb = tuple(b) + (0,) * (width - len(b))
+    assert (va < vb) == (ta < tb)
+    assert (va == vb) == (ta == tb)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=4))
+def test_roundtrip_text(parts):
+    """Property: parsing the rendered text yields an equal version."""
+    text = ".".join(map(str, parts))
+    assert Version(Version(text).text) == Version(text)

@@ -1,0 +1,112 @@
+"""Study calendar."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.timeline import StudyCalendar, default_calendar
+
+
+class TestDefaultCalendar:
+    def test_201_kept_weeks(self):
+        calendar = default_calendar()
+        assert len(calendar) == 201
+        assert calendar.scheduled_weeks == 207
+
+    def test_spans_paper_period(self):
+        calendar = default_calendar()
+        assert calendar.first.date == datetime.date(2018, 3, 5)
+        assert calendar.last.date.year == 2022
+        assert calendar.last.date.month == 2
+
+    def test_pruned_weeks_absent(self):
+        calendar = default_calendar()
+        kept_indices = {w.index for w in calendar}
+        assert not kept_indices & set(calendar.pruned)
+
+    def test_ordinals_contiguous(self):
+        calendar = default_calendar()
+        assert [w.ordinal for w in calendar] == list(range(201))
+
+    def test_weekly_spacing(self):
+        calendar = default_calendar()
+        weeks = calendar.weeks
+        for earlier, later in zip(weeks, weeks[1:]):
+            delta = (later.date - earlier.date).days
+            assert delta % 7 == 0 and 7 <= delta <= 14
+
+
+class TestQueries:
+    def test_week_for_date_exact(self):
+        calendar = default_calendar()
+        week = calendar.week_for_date(datetime.date(2020, 12, 8))
+        assert week.date <= datetime.date(2020, 12, 8)
+        assert (datetime.date(2020, 12, 8) - week.date).days < 14
+
+    def test_week_for_date_before_start(self):
+        calendar = default_calendar()
+        assert calendar.week_for_date(datetime.date(2017, 1, 1)) == calendar.first
+
+    def test_week_for_date_after_end(self):
+        calendar = default_calendar()
+        assert calendar.week_for_date(datetime.date(2023, 1, 1)) == calendar.last
+
+    def test_last_month_is_four_weeks(self):
+        calendar = default_calendar()
+        last = calendar.last_month()
+        assert len(last) == 4
+        assert last[-1] == calendar.last
+
+    def test_weeks_between(self):
+        calendar = default_calendar()
+        window = calendar.weeks_between(
+            datetime.date(2020, 8, 1), datetime.date(2020, 12, 31)
+        )
+        assert all(
+            datetime.date(2020, 8, 1) <= w.date <= datetime.date(2020, 12, 31)
+            for w in window
+        )
+        assert len(window) > 15
+
+    def test_contains(self):
+        calendar = default_calendar()
+        assert calendar.contains(datetime.date(2020, 1, 1))
+        assert not calendar.contains(datetime.date(2017, 1, 1))
+
+    def test_days_elapsed(self):
+        calendar = default_calendar()
+        week = calendar.week_at(10)
+        assert calendar.days_elapsed(week, calendar.start) == (
+            week.date - calendar.start
+        ).days
+
+
+class TestValidation:
+    def test_zero_weeks_rejected(self):
+        with pytest.raises(ConfigError):
+            StudyCalendar(scheduled_weeks=0)
+
+    def test_pruned_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            StudyCalendar(scheduled_weeks=10, pruned=(20,))
+
+    def test_prune_everything_rejected(self):
+        with pytest.raises(ConfigError):
+            StudyCalendar(scheduled_weeks=2, pruned=(0, 1))
+
+    def test_date_of_bounds(self):
+        calendar = default_calendar()
+        with pytest.raises(ConfigError):
+            calendar.date_of(999)
+
+
+@given(st.integers(min_value=0, max_value=1500))
+def test_week_for_date_is_at_or_before(offset_days):
+    """Property: the covering week's date never exceeds the query date
+    (for dates at/after the start)."""
+    calendar = default_calendar()
+    date = calendar.start + datetime.timedelta(days=offset_days)
+    week = calendar.week_for_date(date)
+    assert week.date <= date

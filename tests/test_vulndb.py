@@ -1,0 +1,161 @@
+"""Vulnerability database: records, store, matcher, paper facts."""
+
+import datetime
+
+import pytest
+
+from repro.errors import VulnDBError
+from repro.semver import parse_range
+from repro.vulndb import (
+    Advisory,
+    AttackType,
+    MatchMode,
+    RangeAccuracy,
+    VersionMatcher,
+    VulnerabilityDatabase,
+    classify_accuracy,
+    default_database,
+)
+from repro.vulndb.data import library_advisories
+
+
+class TestAdvisoryModel:
+    def test_affects_stated_vs_true(self):
+        advisory = default_database().get("CVE-2020-7656")
+        assert advisory.affects("1.8.3")
+        assert not advisory.affects("1.10.1")  # stated says safe...
+        assert advisory.affects("1.10.1", use_true_range=True)  # ...TVV says no
+
+    def test_has_cve_id(self):
+        db = default_database()
+        assert db.get("CVE-2020-11022").has_cve_id
+        assert not db.get("JQMIGRATE-2013-XSS").has_cve_id
+
+    def test_unpatched(self):
+        advisory = default_database().get("CVE-2020-27511")
+        assert not advisory.is_patched
+
+    def test_requires_identifier(self):
+        with pytest.raises(VulnDBError):
+            Advisory(identifier="", library="x", stated_range=parse_range("< 1.0"))
+
+
+class TestStore:
+    def test_duplicate_rejected(self):
+        db = VulnerabilityDatabase()
+        advisory = library_advisories()[0]
+        db.add(advisory)
+        with pytest.raises(VulnDBError):
+            db.add(advisory)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(VulnDBError):
+            default_database().get("CVE-1999-0001")
+
+    def test_for_library_sorted_by_disclosure(self):
+        advisories = default_database().for_library("jquery")
+        dates = [a.disclosed for a in advisories]
+        assert dates == sorted(dates)
+
+    def test_affecting_as_of_cutoff(self):
+        db = default_database()
+        hits_late = db.affecting("jquery", "1.12.4")
+        hits_2016 = db.affecting(
+            "jquery", "1.12.4", as_of=datetime.date(2016, 1, 1)
+        )
+        assert len(hits_2016) < len(hits_late)
+
+    def test_disclosed_between(self):
+        db = default_database()
+        window = db.disclosed_between(
+            datetime.date(2020, 1, 1), datetime.date(2020, 12, 31)
+        )
+        assert any(a.identifier == "CVE-2020-11022" for a in window)
+
+
+class TestPaperFacts:
+    """Assertions pinned to the paper's Table 2 / Section 6.4."""
+
+    def test_28_library_vulnerabilities(self):
+        # 27 CVEs + the unassigned jQuery-Migrate advisory; the paper's
+        # caption counts 28 vulnerabilities on seven libraries.
+        advisories = library_advisories()
+        assert len(advisories) == 27
+        assert len({a.library for a in advisories}) == 7
+
+    def test_13_of_27_cves_incorrect(self):
+        cves = [a for a in library_advisories() if a.has_cve_id]
+        verdicts = [classify_accuracy(a) for a in cves]
+        understated = verdicts.count(RangeAccuracy.UNDERSTATED)
+        overstated = verdicts.count(RangeAccuracy.OVERSTATED)
+        assert understated == 5
+        assert overstated == 8
+        assert understated + overstated == 13
+
+    def test_migrate_advisory_understated(self):
+        advisory = default_database().get("JQMIGRATE-2013-XSS")
+        assert classify_accuracy(advisory) is RangeAccuracy.UNDERSTATED
+
+    def test_jquery_has_8_cves(self):
+        db = default_database()
+        assert len(db.for_library("jquery")) == 8
+        assert len(db.for_library("bootstrap")) == 7
+        assert len(db.for_library("jquery-ui")) == 6
+
+    def test_dominant_jquery_version_has_4_cves(self):
+        matcher = VersionMatcher(default_database())
+        assert matcher.count("jquery", "1.12.4") == 4
+
+    def test_xss_dominates(self):
+        advisories = library_advisories()
+        xss = sum(1 for a in advisories if a.attack_type is AttackType.XSS)
+        assert xss == 21  # 20 CVEs + the migrate advisory
+
+    def test_prototype_redos_affects_all_versions_tvv(self):
+        matcher = VersionMatcher(default_database())
+        hits = matcher.match("prototype", "1.7.3", MatchMode.TVV)
+        assert any(h.identifier == "CVE-2020-27511" for h in hits)
+
+    def test_wordpress_table4_present(self):
+        db = default_database()
+        assert len(db.for_library("wordpress")) == 10
+
+    def test_flash_advisories_present(self):
+        db = default_database()
+        assert len(db.for_library("flash-player")) == 10
+
+
+class TestMatcher:
+    def test_modes_differ_for_understated(self):
+        matcher = VersionMatcher(default_database())
+        # jQuery 2.2.3: safe per stated CVE-2014-6071 upper bound? The
+        # TVV extends to 2.2.4, so TVV mode must match more advisories.
+        cve = matcher.match("jquery", "2.0.0", MatchMode.CVE)
+        tvv = matcher.match("jquery", "2.0.0", MatchMode.TVV)
+        assert {h.identifier for h in cve} != {h.identifier for h in tvv}
+
+    def test_unparseable_version_matches_nothing(self):
+        matcher = VersionMatcher(default_database())
+        assert matcher.match("jquery", "not-a-version") == ()
+
+    def test_unknown_library_matches_nothing(self):
+        matcher = VersionMatcher(default_database())
+        assert matcher.match("left-pad", "1.0.0") == ()
+
+    def test_memoization(self):
+        matcher = VersionMatcher(default_database())
+        matcher.match("jquery", "1.12.4")
+        size = matcher.cache_size()
+        matcher.match("jquery", "1.12.4")
+        assert matcher.cache_size() == size
+
+    def test_unversioned_only_unbounded_ranges(self):
+        matcher = VersionMatcher(default_database())
+        hits = matcher.match_unversioned("prototype", MatchMode.TVV)
+        assert [h.identifier for h in hits] == ["CVE-2020-27511"]
+        assert matcher.match_unversioned("jquery", MatchMode.TVV) == ()
+
+    def test_is_vulnerable(self):
+        matcher = VersionMatcher(default_database())
+        assert matcher.is_vulnerable("jquery", "1.12.4")
+        assert not matcher.is_vulnerable("jquery", "3.6.0")

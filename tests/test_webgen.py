@@ -1,0 +1,257 @@
+"""Web ecosystem generator: domains, platform, flash, sites."""
+
+import numpy as np
+import pytest
+
+from repro.config import ScenarioConfig
+from repro.timeline import default_calendar
+from repro.webgen import DomainPopulation, Reachability, WebEcosystem
+from repro.webgen.flashgen import FlashModel
+from repro.webgen.libraries import TOP15_ORDER, library_profiles
+from repro.webgen.platform import WordPressModel, bundled_libraries
+from repro.webgen.site import SiteState, UpdatePolicy
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ScenarioConfig(population=300, seed=77)
+
+
+@pytest.fixture(scope="module")
+def eco(config):
+    return WebEcosystem(config)
+
+
+class TestDomains:
+    def test_population_size_and_ranks(self, config):
+        rng = np.random.default_rng(1)
+        population = DomainPopulation(100, config.accessibility, rng, 201)
+        assert len(population) == 100
+        assert [d.rank for d in population][:3] == [1, 2, 3]
+
+    def test_tiers(self, config):
+        rng = np.random.default_rng(1)
+        population = DomainPopulation(100, config.accessibility, rng, 201)
+        assert population[0].tier == "top1k"
+
+    def test_by_name(self, eco):
+        domain = eco.population[5]
+        assert eco.population.by_name(domain.name) is domain
+        assert eco.population.by_name("unknown.example") is None
+
+    def test_reachability_mix(self, config):
+        rng = np.random.default_rng(1)
+        population = DomainPopulation(2000, config.accessibility, rng, 201)
+        kinds = {k: 0 for k in Reachability}
+        for domain in population:
+            kinds[domain.reachability] += 1
+        assert kinds[Reachability.STABLE] > 1000
+        assert kinds[Reachability.DEAD] > 100
+        assert kinds[Reachability.DIES] > 30
+
+    def test_dies_has_death_week(self, config):
+        rng = np.random.default_rng(1)
+        population = DomainPopulation(2000, config.accessibility, rng, 201)
+        for domain in population:
+            if domain.reachability is Reachability.DIES:
+                assert domain.death_week is not None
+                assert not domain.alive_at(domain.death_week)
+                assert domain.alive_at(domain.death_week - 1)
+
+    def test_alive_count_decreases(self, config):
+        rng = np.random.default_rng(1)
+        population = DomainPopulation(2000, config.accessibility, rng, 201)
+        assert population.alive_count(200) <= population.alive_count(0)
+
+
+class TestWordPressModel:
+    def test_bundles(self):
+        assert bundled_libraries("4.9.8") == ("1.12.4", "1.4.1")
+        assert bundled_libraries("5.5.1") == ("1.12.4", None)  # migrate dropped
+        assert bundled_libraries("5.6") == ("3.5.1", "3.3.2")
+        assert bundled_libraries("5.8.1") == ("3.6.0", "3.3.2")
+
+    def test_auto_timeline_reaches_56_after_dec2020(self):
+        model = WordPressModel(ScenarioConfig().platform, default_calendar())
+        rng = np.random.default_rng(3)
+        timeline = model.version_timeline(rng, auto_update=True)
+        calendar = default_calendar()
+        import datetime
+
+        ordinal = calendar.week_for_date(datetime.date(2021, 3, 1)).ordinal
+        version = WordPressModel.version_at(timeline, ordinal)
+        from repro.semver import Version
+
+        assert Version(version) >= Version("5.6")
+
+    def test_timeline_versions_monotone(self):
+        model = WordPressModel(ScenarioConfig().platform, default_calendar())
+        from repro.semver import Version
+
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            timeline = model.version_timeline(rng, auto_update=bool(seed % 2))
+            versions = [Version(v) for _, v in timeline]
+            assert versions == sorted(versions)
+
+
+class TestFlashModel:
+    def test_always_share_ramps(self):
+        model = FlashModel(ScenarioConfig().flash, default_calendar())
+        assert model.always_share_at(0) == pytest.approx(0.21)
+        assert model.always_share_at(200) == pytest.approx(0.30)
+
+    def test_assignments_deterministic(self):
+        model = FlashModel(ScenarioConfig().flash, default_calendar())
+        a = model.assign(np.random.default_rng(9), 0.5)
+        b = model.assign(np.random.default_rng(9), 0.5)
+        assert a == b
+
+    def test_non_user(self):
+        model = FlashModel(ScenarioConfig().flash, default_calendar())
+        # percentile 0 and a seed whose first draw misses the tiny share
+        assignment = model.assign(np.random.default_rng(1), 0.0)
+        assert not assignment.uses_flash
+        assert not assignment.active_at(0)
+
+    def test_script_access_can_flip_to_always(self):
+        from repro.webgen.flashgen import FlashAssignment
+
+        model = FlashModel(ScenarioConfig().flash, default_calendar())
+        # A draw between the start (21%) and end (30%) shares writes
+        # sameDomain early in the study and always late — the mechanism
+        # behind Figure 11's growth.
+        assignment = FlashAssignment(
+            uses_flash=True,
+            drop_week=None,
+            access_draw=0.25,
+            specifies_access=True,
+            never_option=False,
+            visible=True,
+            external_swf=False,
+        )
+        early, _ = model.script_access_at(assignment, 0)
+        late, _ = model.script_access_at(assignment, 200)
+        assert early == "sameDomain"
+        assert late == "always"
+
+
+class TestSiteState:
+    def test_deterministic(self, config, eco):
+        domain = eco.population[10]
+        a = SiteState(domain, config, eco.wordpress_model, eco.flash_model)
+        b = SiteState(domain, config, eco.wordpress_model, eco.flash_model)
+        assert a.manifest(100) == b.manifest(100)
+
+    def test_frozen_sites_never_change_versions(self, config, eco):
+        calendar = config.calendar
+        for domain in eco.population:
+            state = eco.site_state(domain)
+            if state.policy is not UpdatePolicy.FROZEN or state.uses_wordpress:
+                continue
+            for membership in state.memberships:
+                assert len(membership.version_timeline) == 1
+
+    def test_version_timelines_monotone(self, eco):
+        from repro.semver import parse_version
+
+        for domain in list(eco.population)[:150]:
+            state = eco.site_state(domain)
+            for membership in state.memberships:
+                versions = [parse_version(v) for _, v in membership.version_timeline]
+                assert versions == sorted(versions), membership.library
+
+    def test_manifest_versions_exist_at_date(self, eco, config):
+        """No site carries a version before its release date."""
+        from repro.semver import builtin_catalogs
+
+        catalogs = builtin_catalogs()
+        calendar = config.calendar
+        for domain in list(eco.population)[:60]:
+            for ordinal in (0, 100, 200):
+                manifest = eco.manifest(domain, ordinal)
+                for inclusion in manifest.libraries:
+                    catalog = catalogs.get(inclusion.library)
+                    if catalog is None or inclusion.version not in catalog:
+                        continue
+                    release = catalog.get(inclusion.version)
+                    assert release.date <= calendar.week_at(ordinal).date, (
+                        domain.name, inclusion.library, inclusion.version
+                    )
+
+    def test_wordpress_bundle_follows_platform(self, eco):
+        for domain in eco.population:
+            state = eco.site_state(domain)
+            if not (state.uses_wordpress and state.wordpress_bundled):
+                continue
+            manifest = eco.manifest(domain, 0)
+            jquery = manifest.inclusion_of("jquery")
+            assert jquery is not None and jquery.wordpress_bundled
+            expected_jquery, _ = bundled_libraries(manifest.wordpress_version)
+            assert jquery.version == expected_jquery
+
+    def test_migrate_dip_for_auto_wordpress(self, eco, config):
+        """Auto-updating WP sites lose jQuery-Migrate on 5.5, regain on 5.6."""
+        calendar = config.calendar
+        import datetime
+
+        w_55 = calendar.week_for_date(datetime.date(2020, 11, 1)).ordinal
+        w_56 = calendar.week_for_date(datetime.date(2021, 6, 1)).ordinal
+        observed_dip = False
+        for domain in eco.population:
+            state = eco.site_state(domain)
+            if not (state.uses_wordpress and state.wordpress_auto and state.wordpress_bundled):
+                continue
+            during = eco.manifest(domain, w_55).inclusion_of("jquery-migrate")
+            after = eco.manifest(domain, w_56).inclusion_of("jquery-migrate")
+            if during is None and after is not None:
+                observed_dip = True
+                break
+        assert observed_dip
+
+    def test_library_shares_roughly_calibrated(self, eco, config):
+        counts = {name: 0 for name in TOP15_ORDER}
+        n = len(eco.population)
+        for domain in eco.population:
+            manifest = eco.manifest(domain, 0)
+            for inclusion in manifest.libraries:
+                counts[inclusion.library] += 1
+        jquery_share = counts["jquery"] / n
+        assert 0.5 < jquery_share < 0.8
+        assert counts["bootstrap"] / n > 0.1
+        assert counts["jquery"] > counts["jquery-ui"]
+
+    def test_requires_correlation(self, eco):
+        """Popper users overwhelmingly also use Bootstrap."""
+        with_bootstrap = 0
+        popper_users = 0
+        for domain in eco.population:
+            manifest = eco.manifest(domain, 0)
+            libs = {i.library for i in manifest.libraries}
+            if "popper" in libs:
+                popper_users += 1
+                if "bootstrap" in libs:
+                    with_bootstrap += 1
+        if popper_users >= 5:
+            assert with_bootstrap / popper_users > 0.5
+
+
+class TestEcosystem:
+    def test_cdn_hosts_attached(self, eco):
+        assert "ajax.googleapis.com" in eco.network
+        assert "cdn.static-assets.net" in eco.network
+
+    def test_set_week_rewind(self, eco):
+        eco.set_week(200)
+        eco.set_week(0)
+        for domain in eco.population:
+            if domain.reachability is Reachability.DIES:
+                assert domain.name in eco.network
+                break
+
+    def test_landing_page_contains_scripts(self, eco):
+        domain = next(
+            d for d in eco.population if d.reachability is Reachability.STABLE
+        )
+        html = eco.landing_page(domain, 0)
+        assert "<script" in html and domain.name in html
