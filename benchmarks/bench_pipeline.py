@@ -1,8 +1,13 @@
-"""Pipeline throughput: fingerprinting and end-to-end crawling."""
+"""Pipeline throughput: fingerprinting, crawling, and sharded scaling."""
+
+import os
+import time
+
+import pytest
 
 from _helpers import record
 
-from repro import ScenarioConfig
+from repro import ScenarioConfig, Study
 from repro.crawler import Crawler
 from repro.fingerprint import FingerprintEngine
 from repro.webgen import WebEcosystem
@@ -48,3 +53,73 @@ def test_manifest_crawl_week(benchmark):
 
     report = benchmark(crawl_week)
     assert report.pages_collected > 100
+
+
+# ----------------------------------------------------------------------
+# Sharded execution: full-calendar manifest runs, serial vs parallel.
+# ----------------------------------------------------------------------
+
+_SCALE_POPULATION = 2_000
+_SCALE_SEED = 20230926
+
+
+def _timed_run(workers, backend):
+    study = Study(
+        ScenarioConfig(population=_SCALE_POPULATION, seed=_SCALE_SEED),
+        workers=workers,
+        backend=backend,
+    )
+    started = time.perf_counter()
+    report = study.run()
+    return study, report, time.perf_counter() - started
+
+
+def test_sharded_manifest_crawl_serial(benchmark):
+    """Baseline: full-calendar manifest crawl on the serial backend."""
+
+    def crawl():
+        _, report, _ = _timed_run(workers=1, backend="serial")
+        return report
+
+    report = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    record(benchmark, pages=report.pages_collected)
+    assert report.weeks_crawled == 201
+
+
+def test_sharded_manifest_crawl_process(benchmark):
+    """Parallel variant: same crawl sharded over a process pool."""
+    workers = min(4, os.cpu_count() or 1)
+
+    def crawl():
+        _, report, _ = _timed_run(workers=workers, backend="process")
+        return report
+
+    report = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    record(benchmark, pages=report.pages_collected, workers=workers)
+    assert report.weeks_crawled == 201
+
+
+def test_parallel_speedup_and_equivalence():
+    """Process backend beats serial wall-clock on a multi-core runner,
+    while producing a bit-identical store."""
+    from repro.crawler.persistence import store_to_dict
+
+    cores = os.cpu_count() or 1
+    serial_study, serial_report, serial_elapsed = _timed_run(1, "serial")
+    workers = min(4, cores)
+    parallel_study, parallel_report, parallel_elapsed = _timed_run(
+        workers, "process"
+    )
+
+    assert parallel_report.pages_collected == serial_report.pages_collected
+    assert store_to_dict(parallel_study.store) == store_to_dict(
+        serial_study.store
+    )
+    print(
+        f"\nserial: {serial_elapsed:.2f}s, "
+        f"process x{workers}: {parallel_elapsed:.2f}s "
+        f"(speedup {serial_elapsed / parallel_elapsed:.2f}x on {cores} cores)"
+    )
+    if cores < 2:
+        pytest.skip("speedup assertion needs a multi-core runner")
+    assert parallel_elapsed < serial_elapsed

@@ -21,6 +21,7 @@ Quickstart::
 from .config import (
     AccessibilityConfig,
     BehaviorMix,
+    ExecutionConfig,
     FlashConfig,
     PlatformConfig,
     ScenarioConfig,
@@ -41,6 +42,7 @@ __all__ = [
     "StudyResults",
     "SiteScanner",
     "ScenarioConfig",
+    "ExecutionConfig",
     "BehaviorMix",
     "PlatformConfig",
     "AccessibilityConfig",

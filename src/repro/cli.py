@@ -3,7 +3,9 @@
 Three subcommands::
 
     repro run [--population N] [--seed S] [--save-store FILE] [--full]
-        Build a scenario, crawl all 201 weeks, print the study report.
+              [--weeks N] [--workers N] [--backend B] [--shard-size C]
+        Build a scenario, crawl the study weeks (optionally sharded
+        across workers), print the study report.
 
     repro scan FILE [--url URL]
         Fingerprint a local HTML file and print prioritized findings
@@ -25,15 +27,42 @@ from typing import List, Optional
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
     from . import ScenarioConfig, Study
     from .reporting import StudyReport
 
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.shard_size is not None and args.shard_size < 0:
+        print("error: --shard-size must be >= 0 (0 = auto)", file=sys.stderr)
+        return 2
+    if args.weeks is not None and args.weeks < 1:
+        print("error: --weeks must be >= 1", file=sys.stderr)
+        return 2
+
     config = ScenarioConfig(population=args.population, seed=args.seed)
-    study = Study(config, mode="full" if args.full else "manifest")
-    report = study.run()
+    study = Study(
+        config,
+        mode="full" if args.full else "manifest",
+        workers=args.workers,
+        backend=args.backend,
+        shard_size=args.shard_size,
+    )
+    weeks = None
+    if args.weeks is not None:
+        weeks = study.config.calendar.weeks[: args.weeks]
+    started = time.perf_counter()
+    report = study.run(weeks=weeks)
+    elapsed = time.perf_counter() - started
+    execution = study.config.execution
     print(
         f"crawled {report.domains_crawled:,} domains x "
-        f"{report.weeks_crawled} weeks -> {report.pages_collected:,} pages",
+        f"{report.weeks_crawled} weeks -> {report.pages_collected:,} pages "
+        f"in {elapsed:.2f}s "
+        f"({execution.resolved_backend} backend, "
+        f"{execution.workers} worker{'s' if execution.workers != 1 else ''})",
         file=sys.stderr,
     )
     print(StudyReport(study).render())
@@ -106,6 +135,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="crawl over HTTP + fingerprint HTML instead of the fast path",
+    )
+    run.add_argument(
+        "--weeks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crawl only the first N calendar weeks (default: all 201)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the crawl across N workers (results are identical "
+        "to a serial run)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="execution backend for sharded crawls (auto = process "
+        "when --workers > 1)",
+    )
+    run.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="max weeks*domains cells per shard (0 = one shard per worker)",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -141,6 +141,49 @@ class SecurityHygieneConfig:
     github_hosted_share: float = 0.00214
 
 
+#: Backend names accepted by :class:`ExecutionConfig`.  ``auto`` resolves
+#: to ``serial`` for one worker and ``process`` otherwise.
+EXECUTION_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionConfig:
+    """How the crawl is *executed* — sharding and parallelism knobs.
+
+    Execution settings never change the dataset: the same seed yields
+    bit-identical aggregates on every backend and worker count (the
+    runtime layer's determinism guarantee, enforced by tests).
+
+    Attributes:
+        backend: ``auto``, ``serial``, ``thread``, or ``process``.
+        workers: Worker count for the parallel backends.
+        shard_size: Upper bound on ``weeks × domains`` cells per shard;
+            ``0`` picks one shard per worker.
+    """
+
+    backend: str = "auto"
+    workers: int = 1
+    shard_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ConfigError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected one of {', '.join(EXECUTION_BACKENDS)}"
+            )
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.shard_size < 0:
+            raise ConfigError("shard_size must be >= 0 (0 = auto)")
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete backend ``auto`` stands for."""
+        if self.backend != "auto":
+            return self.backend
+        return "serial" if self.workers == 1 else "process"
+
+
 @dataclasses.dataclass(frozen=True)
 class ScenarioConfig:
     """Everything that determines one synthetic four-year dataset."""
@@ -157,6 +200,8 @@ class ScenarioConfig:
         default_factory=SecurityHygieneConfig
     )
     calendar: StudyCalendar = dataclasses.field(default_factory=default_calendar)
+    #: Execution knobs only — never affects the produced dataset.
+    execution: ExecutionConfig = dataclasses.field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
         if self.population <= 0:

@@ -17,6 +17,7 @@ virtual network — the two are observation-equivalent (tested).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import (
@@ -54,6 +55,14 @@ class Study:
         database: Vulnerability database override (defaults to the
             paper's Table 2/4 + Flash data).
         mode: ``"manifest"`` (fast) or ``"full"`` (HTTP + fingerprint).
+        workers: Override the config's execution worker count.  With
+            more than one worker the crawl is sharded and dispatched
+            through the runtime layer; results are bit-identical to a
+            serial run.
+        backend: Override the execution backend (``auto``, ``serial``,
+            ``thread``, ``process``).
+        shard_size: Override the maximum ``weeks × domains`` cells per
+            shard (``0`` = one shard per worker).
     """
 
     def __init__(
@@ -61,8 +70,23 @@ class Study:
         config: Optional[ScenarioConfig] = None,
         database: Optional[VulnerabilityDatabase] = None,
         mode: str = "manifest",
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        shard_size: Optional[int] = None,
     ) -> None:
         self.config = config or default_scenario()
+        overrides = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if backend is not None:
+            overrides["backend"] = backend
+        if shard_size is not None:
+            overrides["shard_size"] = shard_size
+        if overrides:
+            self.config = dataclasses.replace(
+                self.config,
+                execution=dataclasses.replace(self.config.execution, **overrides),
+            )
         self.database = database or default_database()
         self.matcher = VersionMatcher(self.database)
         self.mode = mode

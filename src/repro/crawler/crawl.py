@@ -15,9 +15,9 @@ Two operating modes exercise the same downstream pipeline:
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..config import ScenarioConfig
+from ..config import ExecutionConfig, ScenarioConfig
 from ..errors import CrawlError
 from ..fingerprint import (
     FingerprintEngine,
@@ -128,6 +128,8 @@ class Crawler:
         engine: Fingerprint engine (``full`` mode).
         mode: ``"full"`` or ``"manifest"`` (see module docstring).
         apply_filter: Run the paper's accessibility prefilter.
+        execution: Sharding/backend override; defaults to the scenario
+            config's ``execution`` section.
     """
 
     def __init__(
@@ -137,6 +139,7 @@ class Crawler:
         engine: Optional[FingerprintEngine] = None,
         mode: str = "full",
         apply_filter: bool = True,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         if mode not in ("full", "manifest"):
             raise CrawlError(f"unknown crawl mode {mode!r}")
@@ -148,13 +151,23 @@ class Crawler:
         self.store = store
         self.mode = mode
         self.apply_filter = apply_filter
+        self.execution = execution or ecosystem.config.execution
 
     # ------------------------------------------------------------------
     def run(self, weeks: Optional[Sequence[Week]] = None) -> CrawlReport:
-        """Crawl the given weeks (default: the whole calendar)."""
+        """Crawl the given weeks (default: the whole calendar).
+
+        The run is planned as balanced shards over the ``(week, domain)``
+        space, dispatched through the configured execution backend, and
+        folded back into :attr:`store`.  Results are bit-identical across
+        backends and worker counts; a single-shard serial plan takes the
+        direct in-process path with zero dispatch overhead.
+        """
         ecosystem = self.ecosystem
         calendar = ecosystem.calendar
-        target_weeks: Sequence[Week] = weeks if weeks is not None else calendar.weeks
+        target_weeks: Sequence[Week] = tuple(
+            weeks if weeks is not None else calendar.weeks
+        )
 
         filter_report: Optional[FilterReport] = None
         retained: Optional[Set[str]] = None
@@ -171,11 +184,46 @@ class Crawler:
             if retained is None or d.name in retained
         ]
 
+        from ..runtime import plan_shards
+
+        execution = self.execution
+        shards = plan_shards(
+            len(target_weeks),
+            len(domains),
+            workers=execution.workers,
+            shard_size=execution.shard_size,
+        )
+        backend_name = execution.resolved_backend
+        if backend_name == "serial" and len(shards) <= 1:
+            pages, failures = self.crawl_block(target_weeks, domains)
+        else:
+            pages, failures = self._run_sharded(
+                shards, target_weeks, domains, backend_name, execution.workers
+            )
+
+        return CrawlReport(
+            weeks_crawled=len(target_weeks),
+            domains_crawled=len(domains),
+            pages_collected=pages,
+            fetch_failures=failures,
+            filter_report=filter_report,
+        )
+
+    # ------------------------------------------------------------------
+    def crawl_block(
+        self, weeks: Sequence[Week], domains: Sequence[Domain]
+    ) -> Tuple[int, int]:
+        """Crawl one block of (weeks × domains) into :attr:`store`.
+
+        This is the shard primitive: no filtering, no dispatch — just
+        the observation loop.  Returns ``(pages, failures)``.
+        """
+        ecosystem = self.ecosystem
         fetcher = Fetcher(ecosystem.network)
         threshold = ecosystem.config.accessibility.empty_page_threshold
         pages = 0
         failures = 0
-        for week in target_weeks:
+        for week in weeks:
             ecosystem.set_week(week.ordinal)
             for domain in domains:
                 if self.mode == "manifest":
@@ -194,14 +242,55 @@ class Crawler:
                     )
                 self.store.ingest(domain, week, profile)
                 pages += 1
+        return pages, failures
 
-        return CrawlReport(
-            weeks_crawled=len(target_weeks),
-            domains_crawled=len(domains),
-            pages_collected=pages,
-            fetch_failures=failures,
-            filter_report=filter_report,
-        )
+    # ------------------------------------------------------------------
+    def _run_sharded(
+        self,
+        shards,
+        target_weeks: Sequence[Week],
+        domains: Sequence[Domain],
+        backend_name: str,
+        workers: int,
+    ) -> Tuple[int, int]:
+        """Dispatch planned shards through a backend and fold results.
+
+        Workers rebuild their ecosystems deterministically from the
+        scenario config and ship partial stores back through the
+        persistence dict codec; folding uses the store's exact merge.
+        """
+        from ..runtime import ShardTask, execute_shard, get_backend
+        from .persistence import store_from_dict
+
+        tasks = []
+        for shard in shards:
+            shard_weeks = target_weeks[
+                shard.week_start : shard.week_start + shard.week_count
+            ]
+            shard_domains = domains[
+                shard.domain_start : shard.domain_start + shard.domain_count
+            ]
+            tasks.append(
+                ShardTask(
+                    config=self.ecosystem.config,
+                    mode=self.mode,
+                    week_ordinals=tuple(w.ordinal for w in shard_weeks),
+                    domain_names=tuple(d.name for d in shard_domains),
+                    database=self.store.matcher.database,
+                )
+            )
+
+        backend = get_backend(backend_name, workers)
+        pages = 0
+        failures = 0
+        for payload in backend.map(execute_shard, tasks):
+            partial = store_from_dict(
+                payload["store"], self.store.calendar, self.store.matcher
+            )
+            self.store.merge(partial)
+            pages += payload["pages"]
+            failures += payload["failures"]
+        return pages, failures
 
     # ------------------------------------------------------------------
     def _reachable_fast(self, domain: Domain, ordinal: int) -> bool:

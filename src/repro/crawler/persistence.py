@@ -40,9 +40,12 @@ def store_to_dict(store: ObservationStore) -> dict:
                 "collected": agg.collected,
                 "resources": dict(agg.resource_counts),
                 "library_users": dict(agg.library_users),
+                # Sorted so the payload is canonical: serial and merged
+                # sharded stores produce identical documents even though
+                # their dict insertion orders differ.
                 "versions": [
                     [lib, ver, count]
-                    for (lib, ver), count in agg.version_counts.items()
+                    for (lib, ver), count in sorted(agg.version_counts.items())
                 ],
                 "internal": dict(agg.internal_counts),
                 "external": dict(agg.external_counts),
@@ -99,8 +102,13 @@ def store_to_dict(store: ObservationStore) -> dict:
 
 
 def save_store(store: ObservationStore, path: Union[str, Path]) -> None:
-    """Write a store to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(store_to_dict(store)))
+    """Write a store to ``path`` as canonical JSON.
+
+    Keys are sorted so that equal stores — e.g. a serial crawl and a
+    merged sharded crawl, whose dict insertion orders differ — produce
+    byte-identical files.
+    """
+    Path(path).write_text(json.dumps(store_to_dict(store), sort_keys=True))
 
 
 def store_from_dict(

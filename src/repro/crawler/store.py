@@ -112,6 +112,83 @@ class WeekAggregate:
         }
     )
 
+    # ------------------------------------------------------------------
+    def merge(self, other: "WeekAggregate") -> None:
+        """Fold another aggregate for the *same week* into this one.
+
+        Every field is a count over disjoint observation sets, so the
+        merge is pure addition — commutative and associative.
+        """
+        if other.week.ordinal != self.week.ordinal:
+            raise StoreError(
+                f"cannot merge week {other.week.ordinal} into "
+                f"week {self.week.ordinal}"
+            )
+        self.collected += other.collected
+        for name in (
+            "resource_counts",
+            "library_users",
+            "version_counts",
+            "internal_counts",
+            "external_counts",
+            "cdn_counts",
+            "crossorigin_values",
+            "wordpress_versions",
+            "wordpress_jquery_versions",
+            "library_wordpress_users",
+            "flash_by_tier",
+            "untrusted_hosts",
+        ):
+            mine = getattr(self, name)
+            for key, count in getattr(other, name).items():
+                mine[key] += count
+        for library, hosts in other.cdn_hosts.items():
+            mine = self.cdn_hosts[library]
+            for host, count in hosts.items():
+                mine[host] += count
+        for name in (
+            "sites_with_external",
+            "sites_external_no_integrity",
+            "integrity_inclusions",
+            "external_inclusions",
+            "wordpress_sites",
+            "flash_sites",
+            "flash_access_specified",
+            "flash_access_always",
+            "flash_visible",
+            "untrusted_sites",
+            "untrusted_sites_with_integrity",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for mode, count in other.vulnerable_sites.items():
+            self.vulnerable_sites[mode] = self.vulnerable_sites.get(mode, 0) + count
+        for mode, hist in other.vuln_count_hist.items():
+            mine_hist = self.vuln_count_hist[mode]
+            for vuln_count, sites in hist.items():
+                mine_hist[vuln_count] += sites
+        for mode, sites in other.advisory_sites.items():
+            mine_sites = self.advisory_sites[mode]
+            for identifier, count in sites.items():
+                mine_sites[identifier] += count
+
+
+def _merge_changes(
+    a: List[Tuple[int, str]], b: List[Tuple[int, str]]
+) -> List[Tuple[int, str]]:
+    """Merge two change-compressed trajectories exactly.
+
+    Each input lists ``(week ordinal, version)`` *changes* observed over
+    a contiguous, non-interleaved span of weeks.  Concatenating by week
+    order and dropping entries that repeat the previous version yields
+    precisely the trajectory a serial pass over the union would have
+    recorded (the shard planner guarantees the no-interleave invariant).
+    """
+    merged: List[Tuple[int, str]] = []
+    for change in sorted(a + b):
+        if not merged or merged[-1][1] != change[1]:
+            merged.append(change)
+    return merged
+
 
 class ObservationStore:
     """Aggregates fingerprinted observations for the analyses.
@@ -267,6 +344,68 @@ class ObservationStore:
                     any_integrity = True
             if any_integrity:
                 agg.untrusted_sites_with_integrity += 1
+
+    # ------------------------------------------------------------------
+    # Merging (sharded crawls)
+    # ------------------------------------------------------------------
+    def merge(self, other: "ObservationStore") -> "ObservationStore":
+        """Fold another store over *disjoint observations* into this one.
+
+        This is the reduce step of the sharded pipeline: partial stores
+        produced by shard workers fold into one store that is exactly
+        equal — aggregate for aggregate, trajectory for trajectory — to
+        the store a serial crawl over the union would have produced.
+        The operation is associative, so shards may arrive in any order.
+
+        Requirements (guaranteed by the shard planner): the two stores
+        share the same calendar, no ``(week, domain)`` page observation
+        appears in both, and for any domain observed in both the two
+        stores' week spans do not interleave.
+
+        Returns:
+            ``self``, mutated in place.
+        """
+        mine = [(w.ordinal, w.date) for w in self.calendar]
+        theirs = [(w.ordinal, w.date) for w in other.calendar]
+        if mine != theirs:
+            raise StoreError("cannot merge stores with different calendars")
+
+        self.total_observations += other.total_observations
+        self.observed_domains |= other.observed_domains
+
+        for ordinal, agg in other.weeks.items():
+            self.weeks[ordinal].merge(agg)
+
+        for rank, libs in other.trajectories.items():
+            target = self.trajectories.setdefault(rank, {})
+            for library, changes in libs.items():
+                existing = target.get(library)
+                if existing is None:
+                    target[library] = list(changes)
+                else:
+                    target[library] = _merge_changes(existing, changes)
+        for rank, changes in other.wp_trajectories.items():
+            existing = self.wp_trajectories.get(rank)
+            if existing is None:
+                self.wp_trajectories[rank] = list(changes)
+            else:
+                self.wp_trajectories[rank] = _merge_changes(existing, changes)
+
+        for rank, span in other.flash_spans.items():
+            existing = self.flash_spans.get(rank)
+            if existing is None:
+                self.flash_spans[rank] = span
+            else:
+                self.flash_spans[rank] = (
+                    min(existing[0], span[0]),
+                    max(existing[1], span[1]),
+                )
+
+        for host, sites in other.untrusted_site_sets.items():
+            self.untrusted_site_sets[host] |= sites
+        for url, count in other.untrusted_url_counts.items():
+            self.untrusted_url_counts[url] += count
+        return self
 
     # ------------------------------------------------------------------
     # Axis helpers for the analyses

@@ -1,0 +1,34 @@
+"""Execution runtime: shard planning and pluggable backends.
+
+The crawl pipeline scales by partitioning the ``weeks × domains`` space
+into balanced, non-overlapping shards (:mod:`.sharding`), executing each
+shard as a self-contained task (:mod:`.worker`) on a serial, thread, or
+process backend (:mod:`.backends`), and merging the partial observation
+stores exactly (:meth:`~repro.crawler.ObservationStore.merge`).
+
+Determinism guarantee: for a given scenario seed, every backend and
+every worker count produce bit-identical aggregates — parallelism is an
+execution detail, never an observable one.
+"""
+
+from .backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from .sharding import Shard, plan_shards
+from .worker import ShardTask, execute_shard
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "Shard",
+    "plan_shards",
+    "ShardTask",
+    "execute_shard",
+]

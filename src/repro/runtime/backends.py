@@ -1,0 +1,110 @@
+"""Pluggable execution backends for shard dispatch.
+
+An :class:`ExecutionBackend` maps a picklable task function over a list
+of shard tasks and returns the results *in task order*.  Three
+implementations cover the useful points of the design space:
+
+* :class:`SerialBackend` — in-process loop; zero overhead, the default.
+* :class:`ThreadBackend` — a thread pool; shares the parent process (no
+  pickling), useful when the workload releases the GIL or for testing
+  the shard path without process startup cost.
+* :class:`ProcessBackend` — a process pool; true multi-core execution.
+  Tasks and results cross the process boundary via pickle, which is why
+  the shard worker speaks the persistence layer's dict codec.
+
+Backends are deliberately dumb: all determinism lives in the shard
+planner (disjoint, contiguous work units) and the store merge (exact,
+associative), so *where* a shard runs can never change the result.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, List, Sequence
+
+from ..errors import CrawlError
+
+try:  # pragma: no cover - version compatibility shim
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+class ExecutionBackend(Protocol):
+    """Protocol every backend implements."""
+
+    name: str
+    workers: int
+
+    def map(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> List[Any]:  # pragma: no cover - protocol signature
+        """Apply ``fn`` to every task, returning results in task order."""
+        ...
+
+
+class SerialBackend:
+    """Runs shards one after another in the calling thread."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = 1
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        return [fn(task) for task in tasks]
+
+
+class ThreadBackend:
+    """Runs shards on a thread pool inside the current process."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = max(1, workers)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        if not tasks:
+            return []
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        ) as pool:
+            return list(pool.map(fn, tasks))
+
+
+class ProcessBackend:
+    """Runs shards on a process pool (tasks/results cross via pickle)."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = max(1, workers)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        if not tasks:
+            return []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(tasks))
+        ) as pool:
+            return list(pool.map(fn, tasks))
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def get_backend(name: str, workers: int = 1) -> ExecutionBackend:
+    """Instantiate a backend by name (``auto`` resolves by worker count)."""
+    if name == "auto":
+        name = "serial" if workers <= 1 else "process"
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise CrawlError(
+            f"unknown execution backend {name!r}; "
+            f"expected one of auto, {', '.join(sorted(_BACKENDS))}"
+        ) from None
+    return factory(workers=workers)

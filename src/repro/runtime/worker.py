@@ -1,0 +1,116 @@
+"""The shard worker: self-contained execution of one crawl shard.
+
+A :class:`ShardTask` carries everything a worker needs to rebuild its
+slice of the crawl from scratch — the scenario config (ecosystems are
+deterministic functions of it), the crawl mode, the shard's week
+ordinals and domain names, and the vulnerability database.  That makes
+the task picklable, so the same :func:`execute_shard` function serves
+the serial, thread, and process backends unchanged.
+
+Results travel back as the persistence layer's dict codec
+(:func:`~repro.crawler.persistence.store_to_dict`) plus the shard's page
+and failure counters; the dispatching crawler folds the partial stores
+with :meth:`~repro.crawler.ObservationStore.merge`.
+
+Ecosystem construction is the expensive part, so each worker thread or
+process keeps a small cache keyed by (thread, config): consecutive
+shards of the same study reuse one ecosystem.  Threads never share an
+ecosystem — ``set_week`` mutates the virtual network, so sharing across
+threads would race.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import pickle
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..config import ScenarioConfig
+from ..webgen import WebEcosystem
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """One shard, described portably enough to cross a process boundary.
+
+    Attributes:
+        config: Scenario the shard belongs to (rebuilds the ecosystem).
+        mode: ``"full"`` or ``"manifest"``.
+        week_ordinals: Calendar ordinals of the shard's (contiguous)
+            target weeks.
+        domain_names: Names of the shard's retained domains.
+        database: Vulnerability database; ``None`` means the default.
+    """
+
+    config: ScenarioConfig
+    mode: str
+    week_ordinals: Tuple[int, ...]
+    domain_names: Tuple[str, ...]
+    database: Optional[object] = None
+
+
+#: (thread ident, config digest) -> ecosystem; bounded LRU per interpreter.
+_ECOSYSTEM_CACHE: "collections.OrderedDict[Tuple[int, str], WebEcosystem]" = (
+    collections.OrderedDict()
+)
+_ECOSYSTEM_CACHE_MAX = 8
+_CACHE_LOCK = threading.Lock()
+
+
+def _config_digest(config: ScenarioConfig) -> str:
+    return hashlib.sha256(pickle.dumps(config)).hexdigest()
+
+
+def _ecosystem_for(config: ScenarioConfig) -> WebEcosystem:
+    """A cached, thread-private ecosystem for ``config``."""
+    key = (threading.get_ident(), _config_digest(config))
+    with _CACHE_LOCK:
+        cached = _ECOSYSTEM_CACHE.get(key)
+        if cached is not None:
+            _ECOSYSTEM_CACHE.move_to_end(key)
+            return cached
+    ecosystem = WebEcosystem(config)
+    with _CACHE_LOCK:
+        _ECOSYSTEM_CACHE[key] = ecosystem
+        while len(_ECOSYSTEM_CACHE) > _ECOSYSTEM_CACHE_MAX:
+            _ECOSYSTEM_CACHE.popitem(last=False)
+    return ecosystem
+
+
+def execute_shard(task: ShardTask) -> Dict[str, object]:
+    """Crawl one shard into a fresh store and return its dict payload.
+
+    Returns:
+        ``{"store": <store_to_dict payload>, "pages": int,
+        "failures": int}``.
+    """
+    # Imported here (not at module top) to keep crawler <-> runtime
+    # imports acyclic.
+    from ..crawler.crawl import Crawler
+    from ..crawler.persistence import store_to_dict
+    from ..crawler.store import ObservationStore
+    from ..vulndb import VersionMatcher, default_database
+
+    ecosystem = _ecosystem_for(task.config)
+    database = task.database if task.database is not None else default_database()
+    store = ObservationStore(task.config.calendar, VersionMatcher(database))
+    crawler = Crawler(
+        ecosystem, store=store, mode=task.mode, apply_filter=False
+    )
+    calendar = task.config.calendar
+    weeks = [calendar.week_at(ordinal) for ordinal in task.week_ordinals]
+    domains = []
+    for name in task.domain_names:
+        domain = ecosystem.population.by_name(name)
+        if domain is None:  # pragma: no cover - planner/task mismatch
+            raise RuntimeError(f"shard references unknown domain {name!r}")
+        domains.append(domain)
+    pages, failures = crawler.crawl_block(weeks, domains)
+    return {
+        "store": store_to_dict(store),
+        "pages": pages,
+        "failures": failures,
+    }

@@ -139,3 +139,32 @@ class TestCli:
         assert store_path.exists()
         output = capsys.readouterr().out
         assert "Table 1" in output
+
+    def test_run_weeks_and_workers(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "--population",
+                "60",
+                "--seed",
+                "5",
+                "--weeks",
+                "6",
+                "--workers",
+                "2",
+                "--backend",
+                "thread",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "x 6 weeks" in captured.err
+        assert "thread backend, 2 workers" in captured.err
+        assert " in " in captured.err and "s (" in captured.err  # timing
+
+    def test_run_invalid_weeks(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--population", "60", "--weeks", "0"]) == 2

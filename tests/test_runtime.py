@@ -1,0 +1,308 @@
+"""Runtime layer: shard planning, store merging, backend equivalence.
+
+The pipeline's determinism contract — same seed, same dataset, on every
+backend and worker count — is enforced here, together with the exact
+merge semantics (``merge(split(store)) == store``) and the persistence
+codec's behaviour under merge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionConfig, ScenarioConfig, Study
+from repro.crawler import Crawler, ObservationStore
+from repro.crawler.persistence import store_from_dict, store_to_dict
+from repro.errors import ConfigError, CrawlError, StoreError
+from repro.runtime import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    plan_shards,
+)
+from repro.vulndb import MatchMode, VersionMatcher, default_database
+from repro.webgen import WebEcosystem
+
+
+def _square(x):
+    return x * x
+
+
+class TestPlanner:
+    @pytest.mark.parametrize(
+        "n_weeks,n_domains,workers,shard_size",
+        [
+            (201, 500, 1, 0),
+            (201, 500, 4, 0),
+            (10, 3, 8, 0),
+            (1, 100, 8, 0),
+            (7, 7, 3, 5),
+            (50, 200, 2, 999),
+        ],
+    )
+    def test_covers_every_cell_exactly_once(
+        self, n_weeks, n_domains, workers, shard_size
+    ):
+        shards = plan_shards(n_weeks, n_domains, workers, shard_size)
+        seen = set()
+        for shard in shards:
+            for w in range(shard.week_start, shard.week_start + shard.week_count):
+                for d in range(
+                    shard.domain_start, shard.domain_start + shard.domain_count
+                ):
+                    assert (w, d) not in seen
+                    seen.add((w, d))
+        assert len(seen) == n_weeks * n_domains
+
+    def test_week_runs_are_contiguous_and_balanced(self):
+        shards = plan_shards(100, 2, workers=6)
+        assert len(shards) >= 6
+        # Trajectory-merge invariant: weeks form contiguous runs.
+        for shard in shards:
+            assert shard.week_count > 0 and shard.domain_count > 0
+        cells = [s.cells for s in shards]
+        assert max(cells) - min(cells) <= max(1, max(cells) // 2)
+
+    def test_shard_size_bounds_cells(self):
+        shards = plan_shards(40, 30, workers=1, shard_size=100)
+        assert all(s.cells <= 100 for s in shards)
+        assert len(shards) >= (40 * 30) // 100
+
+    def test_empty_grid(self):
+        assert plan_shards(0, 100, 4) == []
+        assert plan_shards(100, 0, 4) == []
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(CrawlError):
+            plan_shards(10, 10, workers=0)
+        with pytest.raises(CrawlError):
+            plan_shards(10, 10, workers=1, shard_size=-1)
+
+
+class TestExecutionConfig:
+    def test_defaults_are_serial(self):
+        cfg = ExecutionConfig()
+        assert cfg.resolved_backend == "serial"
+
+    def test_auto_promotes_with_workers(self):
+        assert ExecutionConfig(workers=4).resolved_backend == "process"
+        assert ExecutionConfig(backend="thread", workers=4).resolved_backend == "thread"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExecutionConfig(backend="gpu")
+        with pytest.raises(ConfigError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ConfigError):
+            ExecutionConfig(shard_size=-5)
+
+    def test_get_backend(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread", 2), ThreadBackend)
+        assert isinstance(get_backend("process", 2), ProcessBackend)
+        assert isinstance(get_backend("auto", 1), SerialBackend)
+        assert isinstance(get_backend("auto", 2), ProcessBackend)
+        with pytest.raises(CrawlError):
+            get_backend("quantum")
+
+    def test_backends_map_in_task_order(self):
+        tasks = list(range(7))
+        expected = [x * x for x in tasks]
+        assert SerialBackend().map(_square, tasks) == expected
+        assert ThreadBackend(workers=3).map(_square, tasks) == expected
+        assert ProcessBackend(workers=2).map(_square, tasks) == expected
+
+
+def _fresh_store(config):
+    return ObservationStore(config.calendar, VersionMatcher(default_database()))
+
+
+def _crawl_serial(config, weeks, mode="manifest"):
+    ecosystem = WebEcosystem(config)
+    store = _fresh_store(config)
+    crawler = Crawler(ecosystem, store=store, mode=mode, apply_filter=False)
+    crawler.crawl_block(weeks, list(ecosystem.population))
+    return store
+
+
+def _crawl_split(config, weeks, splits, mode="manifest"):
+    """Crawl the same space as shards (per ``splits``) and merge."""
+    merged = _fresh_store(config)
+    for week_lo, week_hi, domain_lo, domain_hi in splits:
+        ecosystem = WebEcosystem(config)
+        store = _fresh_store(config)
+        crawler = Crawler(ecosystem, store=store, mode=mode, apply_filter=False)
+        domains = list(ecosystem.population)[domain_lo:domain_hi]
+        crawler.crawl_block(weeks[week_lo:week_hi], domains)
+        merged.merge(store)
+    return merged
+
+
+class TestStoreMerge:
+    """merge(split(store)) round-trips exactly, on both split axes."""
+
+    @pytest.fixture(scope="class")
+    def split_config(self):
+        return ScenarioConfig(population=100, seed=55)
+
+    @pytest.fixture(scope="class")
+    def split_weeks(self, split_config):
+        return split_config.calendar.weeks[:24]
+
+    @pytest.fixture(scope="class")
+    def serial_store(self, split_config, split_weeks):
+        return _crawl_serial(split_config, split_weeks)
+
+    @pytest.mark.parametrize(
+        "splits",
+        [
+            # domain-axis split (3 uneven chunks)
+            [(0, 24, 0, 30), (0, 24, 30, 75), (0, 24, 75, 100)],
+            # week-axis split (contiguous runs)
+            [(0, 7, 0, 100), (7, 8, 0, 100), (8, 24, 0, 100)],
+            # grid split
+            [
+                (0, 11, 0, 40),
+                (0, 11, 40, 100),
+                (11, 24, 0, 40),
+                (11, 24, 40, 100),
+            ],
+        ],
+        ids=["domains", "weeks", "grid"],
+    )
+    def test_merge_split_roundtrip(
+        self, split_config, split_weeks, serial_store, splits
+    ):
+        merged = _crawl_split(split_config, split_weeks, splits)
+        assert merged.total_observations == serial_store.total_observations
+        assert merged.observed_domains == serial_store.observed_domains
+        assert merged.trajectories == serial_store.trajectories
+        assert merged.wp_trajectories == serial_store.wp_trajectories
+        assert merged.flash_spans == serial_store.flash_spans
+        assert dict(merged.untrusted_site_sets) == dict(
+            serial_store.untrusted_site_sets
+        )
+        for ordinal, agg in serial_store.weeks.items():
+            other = merged.weeks[ordinal]
+            assert other.collected == agg.collected
+            assert dict(other.version_counts) == dict(agg.version_counts)
+            assert dict(other.library_users) == dict(agg.library_users)
+            assert {k: dict(v) for k, v in other.cdn_hosts.items()} == {
+                k: dict(v) for k, v in agg.cdn_hosts.items()
+            }
+            assert other.wordpress_sites == agg.wordpress_sites
+            assert other.flash_sites == agg.flash_sites
+            # Both vulnerability join caches merge exactly.
+            for mode in (MatchMode.CVE, MatchMode.TVV):
+                assert other.vulnerable_sites[mode] == agg.vulnerable_sites[mode]
+                assert dict(other.vuln_count_hist[mode]) == dict(
+                    agg.vuln_count_hist[mode]
+                )
+                assert dict(other.advisory_sites[mode]) == dict(
+                    agg.advisory_sites[mode]
+                )
+        # Full canonical equality via the persistence codec.
+        assert store_to_dict(merged) == store_to_dict(serial_store)
+
+    def test_merge_is_associative(self, split_config, split_weeks, serial_store):
+        splits = [(0, 24, 0, 30), (0, 24, 30, 75), (0, 24, 75, 100)]
+        partials = []
+        for week_lo, week_hi, domain_lo, domain_hi in splits:
+            ecosystem = WebEcosystem(split_config)
+            store = _fresh_store(split_config)
+            Crawler(
+                ecosystem, store=store, mode="manifest", apply_filter=False
+            ).crawl_block(
+                split_weeks[week_lo:week_hi],
+                list(ecosystem.population)[domain_lo:domain_hi],
+            )
+            partials.append(store_to_dict(store))
+
+        def fold(order):
+            acc = _fresh_store(split_config)
+            for i in order:
+                acc.merge(
+                    store_from_dict(partials[i], split_config.calendar)
+                )
+            return store_to_dict(acc)
+
+        assert fold([0, 1, 2]) == fold([2, 0, 1]) == store_to_dict(serial_store)
+
+    def test_merge_calendar_mismatch_rejected(self, split_config):
+        from repro.timeline import StudyCalendar
+
+        a = _fresh_store(split_config)
+        other_cal = StudyCalendar(scheduled_weeks=10, pruned=())
+        b = ObservationStore(other_cal, VersionMatcher(default_database()))
+        with pytest.raises(StoreError):
+            a.merge(b)
+
+    def test_week_aggregate_merge_wrong_week_rejected(self, split_config):
+        store = _fresh_store(split_config)
+        with pytest.raises(StoreError):
+            store.weeks[0].merge(store.weeks[1])
+
+
+class TestBackendEquivalence:
+    """Identical seed + config => identical results on every backend."""
+
+    CONFIG = ScenarioConfig(population=150, seed=90)
+    WEEKS = CONFIG.calendar.weeks[:10]
+
+    @pytest.fixture(scope="class")
+    def serial_study(self):
+        study = Study(self.CONFIG)
+        study.run(weeks=self.WEEKS)
+        return study
+
+    @pytest.mark.parametrize(
+        "backend,workers,shard_size",
+        [
+            ("serial", 3, 0),
+            ("thread", 3, 0),
+            ("process", 2, 0),
+            ("thread", 2, 200),  # force week-axis sharding too
+        ],
+    )
+    def test_sharded_matches_serial(self, serial_study, backend, workers, shard_size):
+        study = Study(
+            self.CONFIG, workers=workers, backend=backend, shard_size=shard_size
+        )
+        report = study.run(weeks=self.WEEKS)
+        assert report.pages_collected == serial_study.crawl_report.pages_collected
+        assert report.fetch_failures == serial_study.crawl_report.fetch_failures
+        assert report.domains_crawled == serial_study.crawl_report.domains_crawled
+        assert store_to_dict(study.store) == store_to_dict(serial_study.store)
+        assert study.results() == serial_study.results()
+
+    def test_full_mode_sharded_matches_serial(self):
+        config = ScenarioConfig(population=80, seed=13)
+        weeks = config.calendar.weeks[:6]
+        serial = Study(config, mode="full")
+        serial.run(weeks=weeks)
+        sharded = Study(config, mode="full", workers=3, backend="thread")
+        sharded.run(weeks=weeks)
+        assert store_to_dict(sharded.store) == store_to_dict(serial.store)
+
+
+class TestPersistenceUnderMerge:
+    def test_merged_store_dict_roundtrip(self):
+        config = ScenarioConfig(population=90, seed=21)
+        weeks = config.calendar.weeks[:12]
+        serial = _crawl_serial(config, weeks)
+        merged = _crawl_split(
+            config, weeks, [(0, 12, 0, 45), (0, 12, 45, 90)]
+        )
+        payload = store_to_dict(merged)
+        assert payload == store_to_dict(serial)
+        reloaded = store_from_dict(payload, config.calendar)
+        assert store_to_dict(reloaded) == payload
+        assert reloaded.trajectories == serial.trajectories
+
+    def test_format_version_mismatch_rejected(self):
+        config = ScenarioConfig(population=60, seed=3)
+        with pytest.raises(StoreError):
+            store_from_dict({"format": 999}, config.calendar)
+        with pytest.raises(StoreError):
+            store_from_dict({}, config.calendar)
