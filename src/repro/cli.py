@@ -49,6 +49,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         shard_size=args.shard_size,
+        profile_cache=False if args.no_profile_cache else None,
     )
     weeks = None
     if args.weeks is not None:
@@ -57,12 +58,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = study.run(weeks=weeks)
     elapsed = time.perf_counter() - started
     execution = study.config.execution
+    lookups = report.cache_hits + report.cache_misses
+    cache_note = (
+        f", profile cache {report.cache_hits:,}/{lookups:,} hits "
+        f"({report.cache_hit_rate:.0%})"
+        if lookups
+        else ", profile cache off"
+    )
     print(
         f"crawled {report.domains_crawled:,} domains x "
         f"{report.weeks_crawled} weeks -> {report.pages_collected:,} pages "
         f"in {elapsed:.2f}s "
         f"({execution.resolved_backend} backend, "
-        f"{execution.workers} worker{'s' if execution.workers != 1 else ''})",
+        f"{execution.workers} worker{'s' if execution.workers != 1 else ''}"
+        f"{cache_note})",
         file=sys.stderr,
     )
     print(StudyReport(study).render())
@@ -164,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CELLS",
         help="max weeks*domains cells per shard (0 = one shard per worker)",
+    )
+    run.add_argument(
+        "--no-profile-cache",
+        action="store_true",
+        help="disable the incremental profile cache (results are "
+        "identical; only slower)",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -95,8 +95,18 @@ class AccessibilityConfig:
     flaky: float = 0.05
     #: Per-request failure probability for flaky domains.
     flaky_failure_rate: float = 0.30
+    #: Per-request 5xx probability for flaky domains (on top of the
+    #: transient failures above; the default scenario uses none).
+    flaky_server_error_rate: float = 0.0
     #: Empty-page byte threshold used by the paper's filter.
     empty_page_threshold: int = 400
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flaky_server_error_rate <= 1.0:
+            raise ConfigError(
+                "flaky_server_error_rate must be a fraction, "
+                f"got {self.flaky_server_error_rate}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -185,6 +195,24 @@ class ExecutionConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class IncrementalConfig:
+    """Incremental-crawl knobs — like execution, never changes the data.
+
+    The crawler keeps a per-shard, content-addressed profile cache: a
+    domain-week whose site state is identical to the previously crawled
+    week reuses the cached :class:`~repro.fingerprint.PageProfile`
+    instead of re-rendering and re-fingerprinting the page.  Cache hits
+    produce bit-identical stores to cache-off runs (enforced by tests),
+    so the only reason to disable it is measurement of the cache itself.
+
+    Attributes:
+        profile_cache: Reuse profiles across unchanged weeks.
+    """
+
+    profile_cache: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
 class ScenarioConfig:
     """Everything that determines one synthetic four-year dataset."""
 
@@ -202,6 +230,10 @@ class ScenarioConfig:
     calendar: StudyCalendar = dataclasses.field(default_factory=default_calendar)
     #: Execution knobs only — never affects the produced dataset.
     execution: ExecutionConfig = dataclasses.field(default_factory=ExecutionConfig)
+    #: Incremental-crawl knobs only — never affects the produced dataset.
+    incremental: IncrementalConfig = dataclasses.field(
+        default_factory=IncrementalConfig
+    )
 
     def __post_init__(self) -> None:
         if self.population <= 0:

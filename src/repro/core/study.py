@@ -63,6 +63,9 @@ class Study:
             ``thread``, ``process``).
         shard_size: Override the maximum ``weeks × domains`` cells per
             shard (``0`` = one shard per worker).
+        profile_cache: Override the config's incremental profile cache
+            (``False`` disables it; results are bit-identical either
+            way).
     """
 
     def __init__(
@@ -73,6 +76,7 @@ class Study:
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         shard_size: Optional[int] = None,
+        profile_cache: Optional[bool] = None,
     ) -> None:
         self.config = config or default_scenario()
         overrides = {}
@@ -86,6 +90,13 @@ class Study:
             self.config = dataclasses.replace(
                 self.config,
                 execution=dataclasses.replace(self.config.execution, **overrides),
+            )
+        if profile_cache is not None:
+            self.config = dataclasses.replace(
+                self.config,
+                incremental=dataclasses.replace(
+                    self.config.incremental, profile_cache=profile_cache
+                ),
             )
         self.database = database or default_database()
         self.matcher = VersionMatcher(self.database)

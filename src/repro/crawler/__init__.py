@@ -13,7 +13,8 @@ Public API: :class:`Fetcher`, :class:`Crawler`, :class:`CrawlReport`,
 from .fetch import FetchResult, Fetcher
 from .store import ObservationStore, WeekAggregate
 from .filtering import AccessibilityFilter
-from .crawl import Crawler, CrawlReport
+from .cache import ProfileCache, site_state_key
+from .crawl import BlockStats, Crawler, CrawlReport
 
 __all__ = [
     "Fetcher",
@@ -23,4 +24,7 @@ __all__ = [
     "AccessibilityFilter",
     "Crawler",
     "CrawlReport",
+    "BlockStats",
+    "ProfileCache",
+    "site_state_key",
 ]

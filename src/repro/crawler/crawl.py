@@ -17,14 +17,16 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..config import ExecutionConfig, ScenarioConfig
+from ..config import ExecutionConfig, IncrementalConfig, ScenarioConfig
 from ..errors import CrawlError
 from ..fingerprint import (
+    CdnCatalog,
     FingerprintEngine,
     FlashEmbed,
     LibraryDetection,
     PageProfile,
     ScriptAccess,
+    default_cdn_catalog,
 )
 from ..timeline import Week
 from ..vulndb import VersionMatcher, default_database
@@ -32,6 +34,7 @@ from ..webgen.domains import Domain, Reachability
 from ..webgen.ecosystem import WebEcosystem
 from ..webgen.html import script_url
 from ..webgen.site import SiteManifest
+from .cache import ProfileCache, site_state_key
 from .fetch import Fetcher, FetchOutcome
 from .filtering import AccessibilityFilter, FilterReport
 from .store import ObservationStore
@@ -46,6 +49,10 @@ class CrawlReport:
     pages_collected: int
     fetch_failures: int
     filter_report: Optional[FilterReport]
+    #: Profile-cache lookups that reused a previous week's profile.
+    cache_hits: int = 0
+    #: Profile-cache lookups that had to (re)build the profile.
+    cache_misses: int = 0
 
     @property
     def average_weekly_collected(self) -> float:
@@ -53,12 +60,34 @@ class CrawlReport:
             return 0.0
         return self.pages_collected / self.weeks_crawled
 
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 when cache disabled)."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
 
-def profile_from_manifest(manifest: SiteManifest, engine: FingerprintEngine) -> PageProfile:
+
+@dataclasses.dataclass
+class BlockStats:
+    """Counters produced by one :meth:`Crawler.crawl_block` call."""
+
+    pages: int = 0
+    failures: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def profile_from_manifest(
+    manifest: SiteManifest, cdn_catalog: CdnCatalog
+) -> PageProfile:
     """Build the PageProfile the engine would produce, from ground truth.
 
     This mirrors the fingerprint engine's semantics exactly; the test
     suite asserts equality against the full render + fingerprint path.
+    Only a :class:`CdnCatalog` is needed (delivery classification), so
+    manifest-mode crawls never construct a fingerprint engine.
     """
     detections: List[LibraryDetection] = []
     for inclusion in manifest.libraries:
@@ -71,7 +100,7 @@ def profile_from_manifest(manifest: SiteManifest, engine: FingerprintEngine) -> 
                 host=inclusion.host or manifest.domain.name,
                 external=inclusion.external,
                 cdn_host=(
-                    engine.cdn_catalog.match(inclusion.host)
+                    cdn_catalog.match(inclusion.host)
                     if inclusion.external
                     else None
                 ),
@@ -125,11 +154,14 @@ class Crawler:
         ecosystem: The built web ecosystem.
         store: Destination for fingerprinted observations; when omitted a
             fresh store with the default vulnerability database is used.
-        engine: Fingerprint engine (``full`` mode).
+        engine: Fingerprint engine (``full`` mode; manifest mode only
+            borrows its CDN catalog and builds no engine of its own).
         mode: ``"full"`` or ``"manifest"`` (see module docstring).
         apply_filter: Run the paper's accessibility prefilter.
         execution: Sharding/backend override; defaults to the scenario
             config's ``execution`` section.
+        incremental: Profile-cache override; defaults to the scenario
+            config's ``incremental`` section.
     """
 
     def __init__(
@@ -140,11 +172,17 @@ class Crawler:
         mode: str = "full",
         apply_filter: bool = True,
         execution: Optional[ExecutionConfig] = None,
+        incremental: Optional[IncrementalConfig] = None,
     ) -> None:
         if mode not in ("full", "manifest"):
             raise CrawlError(f"unknown crawl mode {mode!r}")
         self.ecosystem = ecosystem
-        self.engine = engine or FingerprintEngine()
+        if engine is None and mode == "full":
+            engine = FingerprintEngine()
+        self.engine = engine
+        self.cdn_catalog = (
+            engine.cdn_catalog if engine is not None else default_cdn_catalog()
+        )
         if store is None:
             matcher = VersionMatcher(default_database())
             store = ObservationStore(ecosystem.calendar, matcher)
@@ -152,6 +190,7 @@ class Crawler:
         self.mode = mode
         self.apply_filter = apply_filter
         self.execution = execution or ecosystem.config.execution
+        self.incremental = incremental or ecosystem.config.incremental
 
     # ------------------------------------------------------------------
     def run(self, weeks: Optional[Sequence[Week]] = None) -> CrawlReport:
@@ -195,54 +234,92 @@ class Crawler:
         )
         backend_name = execution.resolved_backend
         if backend_name == "serial" and len(shards) <= 1:
-            pages, failures = self.crawl_block(target_weeks, domains)
+            stats = self.crawl_block(target_weeks, domains)
         else:
-            pages, failures = self._run_sharded(
+            stats = self._run_sharded(
                 shards, target_weeks, domains, backend_name, execution.workers
             )
 
         return CrawlReport(
             weeks_crawled=len(target_weeks),
             domains_crawled=len(domains),
-            pages_collected=pages,
-            fetch_failures=failures,
+            pages_collected=stats.pages,
+            fetch_failures=stats.failures,
             filter_report=filter_report,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
         )
 
     # ------------------------------------------------------------------
     def crawl_block(
         self, weeks: Sequence[Week], domains: Sequence[Domain]
-    ) -> Tuple[int, int]:
+    ) -> BlockStats:
         """Crawl one block of (weeks × domains) into :attr:`store`.
 
         This is the shard primitive: no filtering, no dispatch — just
-        the observation loop.  Returns ``(pages, failures)``.
+        the observation loop.  A fresh :class:`ProfileCache` is created
+        per call, so cache reuse never crosses a shard boundary and the
+        runtime determinism contract (bit-identical stores on every
+        backend) is preserved by construction.
         """
         ecosystem = self.ecosystem
         fetcher = Fetcher(ecosystem.network)
         threshold = ecosystem.config.accessibility.empty_page_threshold
-        pages = 0
-        failures = 0
+        cache = ProfileCache(enabled=self.incremental.profile_cache)
+        stats = BlockStats()
         for week in weeks:
             ecosystem.set_week(week.ordinal)
             for domain in domains:
                 if self.mode == "manifest":
                     if not self._reachable_fast(domain, week.ordinal):
-                        failures += 1
+                        stats.failures += 1
                         continue
                     manifest = ecosystem.manifest(domain, week.ordinal)
-                    profile = profile_from_manifest(manifest, self.engine)
+                    if cache.enabled:
+                        key = site_state_key(manifest)
+                        profile = cache.lookup(domain.rank, key)
+                        if profile is None:
+                            profile = profile_from_manifest(
+                                manifest, self.cdn_catalog
+                            )
+                            cache.store(domain.rank, key, profile)
+                    else:
+                        profile = profile_from_manifest(manifest, self.cdn_catalog)
                 else:
+                    key = None
+                    if (
+                        cache.enabled
+                        and domain.reachability is not Reachability.ANTIBOT
+                        and domain.alive_at(week.ordinal)
+                    ):
+                        # Content-address the page before rendering it.
+                        manifest = ecosystem.manifest(domain, week.ordinal)
+                        key = site_state_key(manifest)
+                        cached = cache.lookup(domain.rank, key)
+                        if cached is not None:
+                            # Skip render + fingerprint, but draw this
+                            # week's failure schedule exactly as the
+                            # fetch would have.
+                            if self._fetch_would_succeed(domain):
+                                self.store.ingest(domain, week, cached)
+                                stats.pages += 1
+                            else:
+                                stats.failures += 1
+                            continue
                     result = fetcher.fetch_domain(domain.name)
                     if not result.ok or result.size < threshold:
-                        failures += 1
+                        stats.failures += 1
                         continue
                     profile = self.engine.fingerprint(
                         result.text, f"https://{domain.name}/"
                     )
+                    if key is not None:
+                        cache.store(domain.rank, key, profile)
                 self.store.ingest(domain, week, profile)
-                pages += 1
-        return pages, failures
+                stats.pages += 1
+        stats.cache_hits = cache.hits
+        stats.cache_misses = cache.misses
+        return stats
 
     # ------------------------------------------------------------------
     def _run_sharded(
@@ -252,7 +329,7 @@ class Crawler:
         domains: Sequence[Domain],
         backend_name: str,
         workers: int,
-    ) -> Tuple[int, int]:
+    ) -> BlockStats:
         """Dispatch planned shards through a backend and fold results.
 
         Workers rebuild their ecosystems deterministically from the
@@ -261,6 +338,12 @@ class Crawler:
         """
         from ..runtime import ShardTask, execute_shard, get_backend
         from .persistence import store_from_dict
+
+        # Workers rebuild their crawler from the config, so explicit
+        # incremental overrides must travel inside it.
+        config = self.ecosystem.config
+        if self.incremental != config.incremental:
+            config = dataclasses.replace(config, incremental=self.incremental)
 
         tasks = []
         for shard in shards:
@@ -272,7 +355,7 @@ class Crawler:
             ]
             tasks.append(
                 ShardTask(
-                    config=self.ecosystem.config,
+                    config=config,
                     mode=self.mode,
                     week_ordinals=tuple(w.ordinal for w in shard_weeks),
                     domain_names=tuple(d.name for d in shard_domains),
@@ -281,25 +364,27 @@ class Crawler:
             )
 
         backend = get_backend(backend_name, workers)
-        pages = 0
-        failures = 0
+        stats = BlockStats()
         for payload in backend.map(execute_shard, tasks):
             partial = store_from_dict(
                 payload["store"], self.store.calendar, self.store.matcher
             )
             self.store.merge(partial)
-            pages += payload["pages"]
-            failures += payload["failures"]
-        return pages, failures
+            stats.pages += payload["pages"]
+            stats.failures += payload["failures"]
+            stats.cache_hits += payload.get("cache_hits", 0)
+            stats.cache_misses += payload.get("cache_misses", 0)
+        return stats
 
     # ------------------------------------------------------------------
     def _reachable_fast(self, domain: Domain, ordinal: int) -> bool:
         """Manifest-mode reachability mirroring the full path's outcome.
 
         Dead/dying domains and anti-bot blockers never contribute pages;
-        flaky domains drop out per the deterministic failure schedule
-        (approximated by the same per-week draw the network would make
-        for the first request, including one retry).
+        flaky domains drop out per the deterministic failure schedule:
+        the same draws the network would make for the first request plus
+        one retry, where transient failures (connect, timeout) retry but
+        a 5xx answer is terminal — exactly the fetcher's semantics.
         """
         if not domain.alive_at(ordinal):
             return False
@@ -307,12 +392,38 @@ class Crawler:
             return False
         if domain.reachability is Reachability.FLAKY:
             failures = self.ecosystem.network.failures
-            first = failures.outcome(domain.name, ordinal, 0)
-            if first == "ok":
-                return True
-            second = failures.outcome(domain.name, ordinal, 1)
-            return second == "ok"
+            for attempt in (0, 1):
+                outcome = failures.outcome(domain.name, ordinal, attempt)
+                if outcome in ("connect_failure", "timeout"):
+                    continue  # transient: the fetcher retries once
+                return outcome == "ok"
+            return False  # retries exhausted
         return True
-    # NOTE: server_error (5xx) is not modelled for flaky domains'
-    # fast path because the default scenario assigns them only
-    # connect/timeout failure rates.
+
+    # ------------------------------------------------------------------
+    def _fetch_would_succeed(self, domain: Domain) -> bool:
+        """Replay a cache-hit week's fetch outcome without serving it.
+
+        Mirrors :class:`Fetcher` semantics (one retry on transient
+        failures, 5xx terminal) while consuming request ordinals through
+        :meth:`~repro.netsim.VirtualNetwork.simulate_outcome`, so the
+        per-(host, clock) failure schedule stays byte-identical to a
+        run that really fetched.  Callers guarantee the domain is alive
+        and not anti-bot at the network's current clock.
+        """
+        network = self.ecosystem.network
+        name = domain.name
+        if name not in network:  # pragma: no cover - callers pre-check
+            return False  # DNS failure: no request is ever sent
+        condition = network.failures.condition_for(name)
+        latency_timeout = condition.latency > Fetcher.DEFAULT_TIMEOUT
+        for _ in range(2):
+            outcome = network.simulate_outcome(name)
+            if outcome == "connect_failure":
+                continue
+            if outcome == "timeout" or latency_timeout:
+                continue
+            if outcome == "server_error":
+                return False  # 503 answer: HTTP error, no retry
+            return True
+        return False

@@ -68,12 +68,16 @@ class Fetcher:
         timeout: Per-request timeout (seconds, simulated).
     """
 
+    #: Default per-request timeout; the crawler's cache fast path
+    #: replays outcomes against the same deadline.
+    DEFAULT_TIMEOUT = 30.0
+
     def __init__(
         self,
         network: VirtualNetwork,
         max_redirects: int = 5,
         retries: int = 1,
-        timeout: float = 30.0,
+        timeout: float = DEFAULT_TIMEOUT,
     ) -> None:
         self.network = network
         self.max_redirects = max_redirects

@@ -47,9 +47,14 @@ DEFAULT_CDN_HOSTS: FrozenSet[str] = frozenset(
 class CdnCatalog:
     """Classifies hostnames as CDN endpoints."""
 
+    #: Bound on the per-instance match memo (cleared when exceeded).
+    _MATCH_CACHE_MAX = 4096
+    _MISSING = object()
+
     def __init__(self, hosts: Iterable[str] = DEFAULT_CDN_HOSTS) -> None:
         self._hosts = frozenset(h.lower() for h in hosts)
         self._suffixes = tuple("." + h for h in self._hosts)
+        self._match_cache: dict = {}
 
     def is_cdn(self, hostname: Optional[str]) -> bool:
         if not hostname:
@@ -61,13 +66,22 @@ class CdnCatalog:
         """The catalog entry matching ``hostname``, or None."""
         if not hostname:
             return None
-        hostname = hostname.lower()
-        if hostname in self._hosts:
-            return hostname
-        for entry in self._hosts:
-            if hostname.endswith("." + entry):
-                return entry
-        return None
+        cached = self._match_cache.get(hostname, self._MISSING)
+        if cached is not self._MISSING:
+            return cached
+        lowered = hostname.lower()
+        result: Optional[str] = None
+        if lowered in self._hosts:
+            result = lowered
+        else:
+            for entry in self._hosts:
+                if lowered.endswith("." + entry):
+                    result = entry
+                    break
+        if len(self._match_cache) >= self._MATCH_CACHE_MAX:
+            self._match_cache.clear()
+        self._match_cache[hostname] = result
+        return result
 
     def __contains__(self, hostname: object) -> bool:
         return isinstance(hostname, str) and self.is_cdn(hostname)

@@ -7,6 +7,7 @@ versions from a single landing page.
 
 from __future__ import annotations
 
+import functools
 import re
 from typing import List, Optional, Sequence, Set, Tuple
 
@@ -23,6 +24,7 @@ _HIDDEN_STYLE_RE = re.compile(
 )
 
 
+@functools.lru_cache(maxsize=4096)
 def _normalize_host(host: Optional[str]) -> Optional[str]:
     if host is None:
         return None
@@ -173,8 +175,16 @@ class FingerprintEngine:
         host = _normalize_host(resolved.host)
         external = host is not None and host != page_host
 
+        # Literal-substring prefilter: only signatures whose anchor
+        # appears in the (lowercased) path+query pay for regex matching.
+        lower_target = (
+            resolved.path + ("?" + resolved.query if resolved.query else "")
+        ).lower()
+
         detection: Optional[LibraryDetection] = None
         for signature in self.signatures:
+            if not signature.could_match_url(lower_target):
+                continue
             matched = signature.match_url(
                 host, resolved.path, resolved.query, resolved.filename
             )

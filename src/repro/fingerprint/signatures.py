@@ -11,6 +11,7 @@ more specific members of a family (``jquery-migrate``, ``jquery-ui``,
 from __future__ import annotations
 
 import dataclasses
+import functools
 import re
 from typing import List, Optional, Pattern, Sequence, Tuple
 
@@ -33,6 +34,11 @@ class LibrarySignature:
             (banner comments); named group ``version``.
         host_pattern: Optional regex the URL host must match (polyfill.io
             is identified by host alone).
+        anchors: Literal lowercase substrings, at least one of which
+            appears in every path+query the URL patterns can match; the
+            engine uses them as a cheap prefilter so only candidate
+            signatures pay for regex evaluation.  Empty means "no
+            prefilter" (the signature is always a candidate).
     """
 
     library: str
@@ -40,6 +46,20 @@ class LibrarySignature:
     token: str
     inline_pattern: Optional[Pattern[str]] = None
     host_pattern: Optional[Pattern[str]] = None
+    anchors: Tuple[str, ...] = ()
+
+    def could_match_url(self, lower_target: str) -> bool:
+        """Cheap necessary condition for :meth:`match_url` to succeed.
+
+        Args:
+            lower_target: The lowercased ``path[?query]`` string.
+        """
+        if not self.anchors:
+            return True
+        for anchor in self.anchors:
+            if anchor in lower_target:
+                return True
+        return False
 
     def match_url(
         self, host: Optional[str], path: str, query: str, filename: str
@@ -80,6 +100,27 @@ class LibrarySignature:
         return version, "inline-banner"
 
 
+def _anchor_variants(*bases: str) -> Tuple[str, ...]:
+    """Spelling variants covering how a library name appears in URLs.
+
+    ``jquery-ui`` also ships as ``jquery.ui`` and ``jqueryui``; anchors
+    must cover every separator spelling the URL patterns accept or the
+    prefilter would wrongly reject matchable targets.
+    """
+    variants: List[str] = []
+    for base in bases:
+        base = base.lower()
+        for variant in (
+            base,
+            base.replace("-", "."),
+            base.replace(".", "-"),
+            base.replace("-", "").replace(".", ""),
+        ):
+            if variant and variant not in variants:
+                variants.append(variant)
+    return tuple(variants)
+
+
 def _sig(
     library: str,
     urls: Sequence[str],
@@ -94,6 +135,7 @@ def _sig(
             token=token or library,
             inline_pattern=re.compile(inline, re.IGNORECASE) if inline else None,
             host_pattern=re.compile(host, re.IGNORECASE) if host else None,
+            anchors=_anchor_variants(library, token or library),
         )
     except re.error as exc:  # pragma: no cover - authoring error
         raise SignatureError(f"{library}: bad signature regex: {exc}") from exc
@@ -103,8 +145,18 @@ _VER = r"v?(?P<version>\d[\d.]*\d|\d)"
 
 
 def default_signatures() -> List[LibrarySignature]:
-    """Signatures for the paper's top-15 libraries, most specific first."""
-    return [
+    """Signatures for the paper's top-15 libraries, most specific first.
+
+    Returns a fresh list (callers may reorder or extend it); the
+    signature objects themselves are immutable and shared, so the ~45
+    regexes compile once per process instead of once per engine.
+    """
+    return list(_default_signature_set())
+
+
+@functools.lru_cache(maxsize=1)
+def _default_signature_set() -> Tuple[LibrarySignature, ...]:
+    return (
         _sig(
             "jquery-migrate",
             [r"jquery-migrate(?:[.-]" + _VER + r")?(?:[.-](?:min|slim))*\.js"],
@@ -216,4 +268,4 @@ def default_signatures() -> List[LibrarySignature]:
             ],
             token="polyfill",
         ),
-    ]
+    )

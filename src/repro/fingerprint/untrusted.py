@@ -7,6 +7,7 @@ maintainers and contributors are unvetted.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Tuple
 
 #: Host suffixes identifying collaborative-VCS hosting.
@@ -21,6 +22,7 @@ UNTRUSTED_HOST_SUFFIXES: Tuple[str, ...] = (
 )
 
 
+@functools.lru_cache(maxsize=4096)
 def is_untrusted_host(hostname: Optional[str]) -> bool:
     """True when ``hostname`` is served from a VCS hosting platform."""
     if not hostname:

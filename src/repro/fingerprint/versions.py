@@ -9,8 +9,9 @@ implement those three heuristics in priority order.
 
 from __future__ import annotations
 
+import functools
 import re
-from typing import Optional
+from typing import Optional, Pattern
 
 _QUERY_VER_RE = re.compile(r"(?:^|[?&])ver(?:sion)?=([vV]?\d[\w.-]*)")
 _PATH_SEGMENT_RE = re.compile(r"/[vV]?(\d+(?:\.\d+)+(?:\.\d+)*)/")
@@ -52,6 +53,15 @@ def version_from_path_segment(path: str) -> Optional[str]:
     return None
 
 
+@functools.lru_cache(maxsize=256)
+def _filename_pattern(library_token: str) -> Pattern[str]:
+    return re.compile(
+        re.escape(library_token)
+        + r"[.-]v?(\d[\w.]*?)(?:[.-](?:min|slim|pack|bundle))*\.js$",
+        re.IGNORECASE,
+    )
+
+
 def version_from_filename(filename: str, library_token: str) -> Optional[str]:
     """A version suffixed to the library token in the file name.
 
@@ -60,11 +70,7 @@ def version_from_filename(filename: str, library_token: str) -> Optional[str]:
         library_token: The file-name token identifying the library,
             e.g. ``jquery`` or ``jquery.ui``.
     """
-    pattern = re.compile(
-        re.escape(library_token) + r"[.-]v?(\d[\w.]*?)(?:[.-](?:min|slim|pack|bundle))*\.js$",
-        re.IGNORECASE,
-    )
-    match = pattern.search(filename or "")
+    match = _filename_pattern(library_token).search(filename or "")
     if match:
         return _clean(match.group(1))
     return None

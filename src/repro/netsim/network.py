@@ -164,6 +164,18 @@ class VirtualNetwork:
         self._request_ordinals[key] = ordinal + 1
         return ordinal
 
+    def simulate_outcome(self, host: str) -> str:
+        """Draw the next request outcome for ``host`` without serving it.
+
+        Consumes a request ordinal exactly as :meth:`send` would, so a
+        caller that already knows what the response body would be (e.g.
+        the crawler's profile cache) can skip the fetch while leaving
+        the failure schedule — and therefore every later request —
+        byte-for-byte identical to a run that really fetched.
+        """
+        ordinal = self._next_ordinal(host)
+        return self.failures.outcome(host, self.clock, ordinal)
+
     def send(self, request: HttpRequest) -> HttpResponse:
         """Route one request.
 

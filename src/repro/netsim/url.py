@@ -11,6 +11,7 @@ path-relative ``lib/x.js``).
 from __future__ import annotations
 
 import dataclasses
+import functools
 import re
 from typing import Optional, Tuple
 
@@ -109,7 +110,13 @@ def parse_url(text: str, default_scheme: str = "https") -> Url:
     """
     if not isinstance(text, str) or not text.strip():
         raise NetworkError(f"invalid URL: {text!r}")
-    text = text.strip()
+    return _parse_url_cached(text.strip(), default_scheme)
+
+
+@functools.lru_cache(maxsize=4096)
+def _parse_url_cached(text: str, default_scheme: str) -> Url:
+    # Url is frozen, so handing the same instance to every caller is
+    # safe; failures raise before anything is cached.
     match = _URL_RE.match(text)
     if match is None:  # pragma: no cover - regex matches almost anything
         raise NetworkError(f"invalid URL: {text!r}")
@@ -170,6 +177,17 @@ def urljoin(base: Url, reference: str) -> Url:
     Handles absolute URLs, protocol-relative (``//host/x``),
     root-relative (``/x``), and path-relative (``x/y.js``) references.
     """
+    if isinstance(base, Url) and isinstance(reference, str):
+        return _urljoin_cached(base, reference)
+    return _urljoin_uncached(base, reference)
+
+
+@functools.lru_cache(maxsize=8192)
+def _urljoin_cached(base: Url, reference: str) -> Url:
+    return _urljoin_uncached(base, reference)
+
+
+def _urljoin_uncached(base: Url, reference: str) -> Url:
     reference = reference.strip()
     if not reference:
         return base

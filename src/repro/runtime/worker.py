@@ -85,7 +85,7 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
 
     Returns:
         ``{"store": <store_to_dict payload>, "pages": int,
-        "failures": int}``.
+        "failures": int, "cache_hits": int, "cache_misses": int}``.
     """
     # Imported here (not at module top) to keep crawler <-> runtime
     # imports acyclic.
@@ -108,9 +108,11 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
         if domain is None:  # pragma: no cover - planner/task mismatch
             raise RuntimeError(f"shard references unknown domain {name!r}")
         domains.append(domain)
-    pages, failures = crawler.crawl_block(weeks, domains)
+    stats = crawler.crawl_block(weeks, domains)
     return {
         "store": store_to_dict(store),
-        "pages": pages,
-        "failures": failures,
+        "pages": stats.pages,
+        "failures": stats.failures,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
     }

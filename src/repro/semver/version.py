@@ -155,8 +155,20 @@ class Version:
         return Version(".".join(str(p) for p in kept))
 
 
+@functools.lru_cache(maxsize=4096)
+def _version_from_text(text: str) -> Version:
+    return Version(text)
+
+
 def parse_version(value: VersionLike) -> Version:
-    """Coerce a string or :class:`Version` to a :class:`Version`."""
+    """Coerce a string or :class:`Version` to a :class:`Version`.
+
+    Parses of the same string share one immutable instance (the crawl
+    re-parses a small set of hot version strings millions of times);
+    unparseable strings raise without being cached.
+    """
     if isinstance(value, Version):
         return value
+    if isinstance(value, str):
+        return _version_from_text(value)
     return Version(value)

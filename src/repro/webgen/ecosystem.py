@@ -205,6 +205,7 @@ class WebEcosystem:
                     HostCondition(
                         connect_failure_rate=acc.flaky_failure_rate * 0.6,
                         timeout_rate=acc.flaky_failure_rate * 0.4,
+                        server_error_rate=acc.flaky_server_error_rate,
                     ),
                 )
         cdn_hosts = set(DEFAULT_CDN_HOSTS) | {GENERIC_CDN, GENERIC_THIRD_PARTY}

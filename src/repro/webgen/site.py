@@ -171,6 +171,7 @@ class SiteState:
         #: Whether this site's self-hosted mirrors carry benign edits
         #: (set by the ecosystem; Section 9 hash audit).
         self.mirrors_modified = False
+        self._manifest_memo: Optional[Tuple[int, SiteManifest]] = None
         draw = rng.random()
         if draw < behavior.frozen:
             self.policy = UpdatePolicy.FROZEN
@@ -442,6 +443,16 @@ class SiteState:
 
     def manifest(self, ordinal: int) -> SiteManifest:
         """Ground truth for this site's landing page at a kept week."""
+        # One-slot memo: within a crawl week the manifest is requested
+        # once for the site-state digest and once for page serving.
+        memo = self._manifest_memo
+        if memo is not None and memo[0] == ordinal:
+            return memo[1]
+        manifest = self._build_manifest(ordinal)
+        self._manifest_memo = (ordinal, manifest)
+        return manifest
+
+    def _build_manifest(self, ordinal: int) -> SiteManifest:
         inclusions: List[LibraryInclusion] = []
         wp_version = self.wordpress_version_at(ordinal)
 

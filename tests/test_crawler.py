@@ -137,6 +137,86 @@ class TestCrawler:
             assert a.flash_sites == b.flash_sites
             assert a.sites_external_no_integrity == b.sites_external_no_integrity
 
+    def test_reachable_fast_models_server_errors(self):
+        """Regression: 5xx answers are terminal on the fast path too.
+
+        With a nonzero flaky server-error rate, manifest-mode
+        reachability must still match the full HTTP path (a 503 is an
+        HTTP error the fetcher does not retry).
+        """
+        from repro.config import AccessibilityConfig
+        from repro.crawler.persistence import store_to_dict
+
+        acc = AccessibilityConfig(flaky_server_error_rate=0.4)
+        config = ScenarioConfig(population=200, seed=77, accessibility=acc)
+        weeks = config.calendar.weeks[:6]
+
+        eco_full = WebEcosystem(config)
+        full = Crawler(eco_full, mode="full")
+        report_full = full.run(weeks=weeks)
+
+        eco_fast = WebEcosystem(config)
+        fast = Crawler(eco_fast, mode="manifest")
+        report_fast = fast.run(weeks=weeks)
+
+        # Guard against vacuity: the schedule must actually draw 5xx.
+        flaky = [
+            d
+            for d in eco_full.population
+            if d.reachability is Reachability.FLAKY
+        ]
+        draws = sum(
+            1
+            for d in flaky
+            for w in range(len(weeks))
+            for attempt in (0, 1)
+            if eco_full.network.failures.outcome(d.name, w, attempt)
+            == "server_error"
+        )
+        assert draws > 0
+
+        assert report_full.pages_collected == report_fast.pages_collected
+        assert report_full.fetch_failures == report_fast.fetch_failures
+        assert store_to_dict(full.store) == store_to_dict(fast.store)
+
+    def test_profile_cache_counters(self):
+        """Hit/miss accounting: one lookup per collected manifest page."""
+        from repro.config import IncrementalConfig
+        from repro.crawler.persistence import store_to_dict
+
+        config = ScenarioConfig(population=100, seed=7)
+        weeks = config.calendar.weeks[:5]
+
+        eco_on = WebEcosystem(config)
+        on = Crawler(eco_on, mode="manifest", apply_filter=False)
+        report_on = on.run(weeks=weeks)
+        assert report_on.cache_hits > 0
+        assert (
+            report_on.cache_hits + report_on.cache_misses
+            == report_on.pages_collected
+        )
+        assert 0.0 < report_on.cache_hit_rate < 1.0
+
+        eco_off = WebEcosystem(config)
+        off = Crawler(
+            eco_off,
+            mode="manifest",
+            apply_filter=False,
+            incremental=IncrementalConfig(profile_cache=False),
+        )
+        report_off = off.run(weeks=weeks)
+        assert report_off.cache_hits == 0 and report_off.cache_misses == 0
+        assert store_to_dict(on.store) == store_to_dict(off.store)
+
+    def test_manifest_mode_builds_no_engine(self):
+        config = ScenarioConfig(population=50, seed=1)
+        crawler = Crawler(WebEcosystem(config), mode="manifest")
+        assert crawler.engine is None
+        assert crawler.cdn_catalog is not None
+        full = Crawler(WebEcosystem(config), mode="full")
+        assert full.engine is not None
+        assert full.cdn_catalog is full.engine.cdn_catalog
+
     def test_profile_from_manifest_equals_fingerprint(self, engine):
         """Per-page equivalence of the two observation paths."""
         config = ScenarioConfig(population=80, seed=13)
@@ -147,7 +227,7 @@ class TestCrawler:
                 continue
             for ordinal in (0, 100, 200):
                 manifest = ecosystem.manifest(domain, ordinal)
-                fast = profile_from_manifest(manifest, engine)
+                fast = profile_from_manifest(manifest, engine.cdn_catalog)
                 html = ecosystem.landing_page(domain, ordinal)
                 full = engine.fingerprint(html, f"https://{domain.name}/")
                 key = lambda p: sorted(

@@ -172,3 +172,58 @@ class TestCounts:
 
         html = '<script src="/js/jquery-1.12.4.min.js"></script>'
         assert json.dumps(fp(html).as_dict())
+
+
+class TestAnchorPrefilter:
+    """The literal-substring prefilter must never veto a real match."""
+
+    def test_anchors_sound_over_generated_urls(self):
+        """For every script URL webgen can emit, prefilter ⊇ match."""
+        from repro.config import ScenarioConfig
+        from repro.fingerprint.signatures import default_signatures
+        from repro.netsim.url import parse_url
+        from repro.webgen import WebEcosystem
+        from repro.webgen.html import script_url
+
+        signatures = default_signatures()
+        ecosystem = WebEcosystem(ScenarioConfig(population=150, seed=42))
+        targets = set()
+        for domain in ecosystem.population[:150]:
+            for ordinal in (0, 80, 200):
+                manifest = ecosystem.manifest(domain, ordinal)
+                for inclusion in manifest.libraries:
+                    url = script_url(inclusion, manifest.wordpress_version)
+                    resolved = parse_url(
+                        url if "//" in url else f"https://{domain.name}{url}"
+                    )
+                    target = resolved.path + (
+                        "?" + resolved.query if resolved.query else ""
+                    )
+                    targets.add(
+                        (resolved.host, resolved.path, resolved.query,
+                         resolved.filename, target)
+                    )
+        assert len(targets) > 100
+        checked = 0
+        for host, path, query, filename, target in targets:
+            lower = target.lower()
+            for signature in signatures:
+                if signature.match_url(host, path, query, filename):
+                    assert signature.could_match_url(lower), (
+                        signature.library, target
+                    )
+                    checked += 1
+        assert checked > 100
+
+    def test_anchor_variants_cover_separator_spellings(self):
+        from repro.fingerprint.signatures import default_signatures
+
+        by_name = {s.library: s for s in default_signatures()}
+        assert "jquery.ui" in by_name["jquery-ui"].anchors
+        assert "jqueryui" in by_name["jquery-ui"].anchors
+        assert "require" in by_name["requirejs"].anchors
+        # Direct construction (no _sig) leaves anchors empty => no veto.
+        from repro.fingerprint import LibrarySignature
+
+        bare = LibrarySignature(library="x", url_patterns=(), token="x")
+        assert bare.could_match_url("anything")

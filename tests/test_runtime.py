@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import ExecutionConfig, ScenarioConfig, Study
+from repro import ExecutionConfig, IncrementalConfig, ScenarioConfig, Study
 from repro.crawler import Crawler, ObservationStore
 from repro.crawler.persistence import store_from_dict, store_to_dict
 from repro.errors import ConfigError, CrawlError, StoreError
@@ -284,6 +284,91 @@ class TestBackendEquivalence:
         sharded = Study(config, mode="full", workers=3, backend="thread")
         sharded.run(weeks=weeks)
         assert store_to_dict(sharded.store) == store_to_dict(serial.store)
+
+
+class TestIncrementalEquivalence:
+    """The profile cache never changes the dataset, on any backend.
+
+    A full crawl with the cache enabled must persist byte-identically to
+    a cache-disabled crawl, across serial/thread/process backends and
+    odd shard sizes (shard boundaries reset the per-shard cache, so
+    uneven shards exercise different hit patterns over the same data).
+    """
+
+    CONFIG = ScenarioConfig(population=80, seed=13)
+    WEEKS = CONFIG.calendar.weeks[:6]
+
+    @pytest.fixture(scope="class")
+    def uncached_full(self):
+        study = Study(self.CONFIG, mode="full", profile_cache=False)
+        study.run(weeks=self.WEEKS)
+        return study
+
+    @pytest.mark.parametrize(
+        "backend,workers,shard_size",
+        [
+            ("serial", 1, 0),
+            ("serial", 1, 37),  # odd shard size, serial dispatch path
+            ("thread", 3, 0),
+            ("process", 2, 0),
+            ("thread", 2, 113),  # odd shard size, forces week splits
+        ],
+    )
+    def test_cached_full_crawl_matches_uncached(
+        self, uncached_full, backend, workers, shard_size
+    ):
+        study = Study(
+            self.CONFIG,
+            mode="full",
+            workers=workers,
+            backend=backend,
+            shard_size=shard_size,
+            profile_cache=True,
+        )
+        report = study.run(weeks=self.WEEKS)
+        baseline = uncached_full.crawl_report
+        assert report.pages_collected == baseline.pages_collected
+        assert report.fetch_failures == baseline.fetch_failures
+        assert report.cache_hits > 0
+        # Byte-identical persisted stores: cache on == cache off.
+        assert store_to_dict(study.store) == store_to_dict(uncached_full.store)
+
+    def test_cache_disabled_reports_zero_counters(self, uncached_full):
+        report = uncached_full.crawl_report
+        assert report.cache_hits == 0
+        assert report.cache_misses == 0
+        assert report.cache_hit_rate == 0.0
+
+    def test_incremental_override_reaches_workers(self):
+        """Crawler-level incremental override must travel into shards."""
+        from repro.crawler import Crawler
+
+        config = ScenarioConfig(population=60, seed=5)
+        weeks = config.calendar.weeks[:4]
+        ecosystem = WebEcosystem(config)
+        crawler = Crawler(
+            ecosystem,
+            mode="manifest",
+            apply_filter=False,
+            execution=ExecutionConfig(backend="thread", workers=2),
+            incremental=IncrementalConfig(profile_cache=False),
+        )
+        report = crawler.run(weeks=weeks)
+        assert report.cache_hits == 0 and report.cache_misses == 0
+
+    def test_manifest_mode_cached_matches_uncached(self):
+        config = ScenarioConfig(population=100, seed=55)
+        weeks = config.calendar.weeks[:8]
+        off = Study(config, profile_cache=False)
+        off.run(weeks=weeks)
+        on = Study(config, profile_cache=True)
+        report = on.run(weeks=weeks)
+        assert report.cache_hits > 0
+        # Manifest mode looks up once per collected page.
+        assert (
+            report.cache_hits + report.cache_misses == report.pages_collected
+        )
+        assert store_to_dict(on.store) == store_to_dict(off.store)
 
 
 class TestPersistenceUnderMerge:
