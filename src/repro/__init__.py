@@ -33,6 +33,7 @@ from .config import (
 from .advisor import SiteScanner
 from .core import Study, StudyResults
 from .errors import ReproError
+from .runtime.faults import FaultPlan
 from .timeline import StudyCalendar, Week, default_calendar
 from .vulndb import MatchMode, default_database
 
@@ -45,6 +46,7 @@ __all__ = [
     "ScenarioConfig",
     "ExecutionConfig",
     "IncrementalConfig",
+    "FaultPlan",
     "BehaviorMix",
     "PlatformConfig",
     "AccessibilityConfig",

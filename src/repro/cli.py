@@ -4,8 +4,10 @@ Three subcommands::
 
     repro run [--population N] [--seed S] [--save-store FILE] [--full]
               [--weeks N] [--workers N] [--backend B] [--shard-size C]
+              [--max-shard-retries N] [--fault-plan SPEC]
         Build a scenario, crawl the study weeks (optionally sharded
-        across workers), print the study report.
+        across workers, optionally under an injected fault plan), print
+        the study report.
 
     repro scan FILE [--url URL]
         Fingerprint a local HTML file and print prioritized findings
@@ -41,6 +43,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.weeks is not None and args.weeks < 1:
         print("error: --weeks must be >= 1", file=sys.stderr)
         return 2
+    if args.max_shard_retries is not None and args.max_shard_retries < 0:
+        print("error: --max-shard-retries must be >= 0", file=sys.stderr)
+        return 2
+
+    fault_plan = None
+    if args.fault_plan:
+        from .errors import ConfigError
+        from .runtime import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_spec(args.fault_plan)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     config = ScenarioConfig(population=args.population, seed=args.seed)
     study = Study(
@@ -50,6 +66,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         shard_size=args.shard_size,
         profile_cache=False if args.no_profile_cache else None,
+        max_shard_retries=args.max_shard_retries,
+        fault_plan=fault_plan,
     )
     weeks = None
     if args.weeks is not None:
@@ -74,6 +92,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{cache_note})",
         file=sys.stderr,
     )
+    if fault_plan is not None:
+        print(
+            f"fault plan [{fault_plan.describe()}]: "
+            f"{report.dropped_shards} shard"
+            f"{'s' if report.dropped_shards != 1 else ''} dropped "
+            f"({report.dropped_cells:,} cells), "
+            f"{report.shard_retries} retr"
+            f"{'ies' if report.shard_retries != 1 else 'y'}, "
+            f"{report.backoff_seconds:.1f}s simulated backoff",
+            file=sys.stderr,
+        )
+        for line in report.shard_errors:
+            print(f"  dropped {line}", file=sys.stderr)
     print(StudyReport(study).render())
     if args.save_store:
         from .crawler.persistence import save_store
@@ -179,6 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the incremental profile cache (results are "
         "identical; only slower)",
+    )
+    run.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatch attempts per failed shard before it is "
+        "dropped (default: 2; backoff is simulated, never slept)",
+    )
+    run.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic chaos, e.g. "
+        "'seed=7,crash=0.3,timeout=0.1,weeks=0-5,surge5xx=0.5'; "
+        "the same (seed, plan) reproduces the identical degraded run",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -164,16 +164,29 @@ class ExecutionConfig:
     bit-identical aggregates on every backend and worker count (the
     runtime layer's determinism guarantee, enforced by tests).
 
+    Failure handling: a failed shard is retried up to
+    ``max_shard_retries`` times with bounded exponential backoff (on a
+    simulated clock — no wall-clock sleeps).  After retries are
+    exhausted, ``on_shard_failure`` decides the outcome: ``"raise"``
+    aborts with a shard-identified error, ``"degrade"`` drops the shard
+    and records it in the crawl report.  Faults injected by a
+    :class:`~repro.runtime.FaultPlan` always degrade — planned chaos is
+    an experiment, not a bug.
+
     Attributes:
         backend: ``auto``, ``serial``, ``thread``, or ``process``.
         workers: Worker count for the parallel backends.
         shard_size: Upper bound on ``weeks × domains`` cells per shard;
             ``0`` picks one shard per worker.
+        max_shard_retries: Re-dispatch attempts per failed shard.
+        on_shard_failure: ``"raise"`` or ``"degrade"`` (see above).
     """
 
     backend: str = "auto"
     workers: int = 1
     shard_size: int = 0
+    max_shard_retries: int = 2
+    on_shard_failure: str = "raise"
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -185,6 +198,13 @@ class ExecutionConfig:
             raise ConfigError("workers must be >= 1")
         if self.shard_size < 0:
             raise ConfigError("shard_size must be >= 0 (0 = auto)")
+        if self.max_shard_retries < 0:
+            raise ConfigError("max_shard_retries must be >= 0")
+        if self.on_shard_failure not in ("raise", "degrade"):
+            raise ConfigError(
+                f"on_shard_failure must be 'raise' or 'degrade', "
+                f"got {self.on_shard_failure!r}"
+            )
 
     @property
     def resolved_backend(self) -> str:

@@ -37,6 +37,7 @@ from ..crawler import Crawler, CrawlReport, ObservationStore
 from ..errors import AnalysisError
 from ..fingerprint import FingerprintEngine
 from ..poclab import ValidationLab
+from ..runtime.faults import FaultPlan
 from ..vulndb import (
     MatchMode,
     VersionMatcher,
@@ -66,6 +67,15 @@ class Study:
         profile_cache: Override the config's incremental profile cache
             (``False`` disables it; results are bit-identical either
             way).
+        max_shard_retries: Override the per-shard retry budget used by
+            the resilient dispatch path.
+        on_shard_failure: Override the post-retry failure policy
+            (``"raise"`` or ``"degrade"``).
+        fault_plan: Deterministic chaos schedule
+            (:class:`~repro.runtime.FaultPlan`).  Injected faults
+            degrade the run into a crawl report that records dropped
+            shards; the result is identical for the same
+            (scenario seed, plan) on every backend.
     """
 
     def __init__(
@@ -77,6 +87,9 @@ class Study:
         backend: Optional[str] = None,
         shard_size: Optional[int] = None,
         profile_cache: Optional[bool] = None,
+        max_shard_retries: Optional[int] = None,
+        on_shard_failure: Optional[str] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.config = config or default_scenario()
         overrides = {}
@@ -86,6 +99,10 @@ class Study:
             overrides["backend"] = backend
         if shard_size is not None:
             overrides["shard_size"] = shard_size
+        if max_shard_retries is not None:
+            overrides["max_shard_retries"] = max_shard_retries
+        if on_shard_failure is not None:
+            overrides["on_shard_failure"] = on_shard_failure
         if overrides:
             self.config = dataclasses.replace(
                 self.config,
@@ -101,6 +118,7 @@ class Study:
         self.database = database or default_database()
         self.matcher = VersionMatcher(self.database)
         self.mode = mode
+        self.fault_plan = fault_plan
         self.ecosystem = WebEcosystem(self.config)
         self.store = ObservationStore(self.config.calendar, self.matcher)
         self.engine = FingerprintEngine()
@@ -112,7 +130,11 @@ class Study:
     def run(self, weeks=None) -> CrawlReport:
         """Build + crawl; idempotent per instance."""
         crawler = Crawler(
-            self.ecosystem, store=self.store, engine=self.engine, mode=self.mode
+            self.ecosystem,
+            store=self.store,
+            engine=self.engine,
+            mode=self.mode,
+            fault_plan=self.fault_plan,
         )
         self._crawl_report = crawler.run(weeks=weeks)
         return self._crawl_report

@@ -28,6 +28,7 @@ from ..fingerprint import (
     ScriptAccess,
     default_cdn_catalog,
 )
+from ..runtime.faults import FaultPlan
 from ..timeline import Week
 from ..vulndb import VersionMatcher, default_database
 from ..webgen.domains import Domain, Reachability
@@ -42,7 +43,14 @@ from .store import ObservationStore
 
 @dataclasses.dataclass
 class CrawlReport:
-    """Summary of one crawl run."""
+    """Summary of one crawl run.
+
+    A *degraded* run — one where shards exhausted their retries and were
+    dropped instead of aborting the crawl — is recorded rather than
+    hidden: ``dropped_shards``/``dropped_cells`` say how much of the
+    ``weeks × domains`` grid is missing, ``shard_errors`` says why, and
+    the accounting is deterministic per (scenario seed, fault plan).
+    """
 
     weeks_crawled: int
     domains_crawled: int
@@ -53,6 +61,17 @@ class CrawlReport:
     cache_hits: int = 0
     #: Profile-cache lookups that had to (re)build the profile.
     cache_misses: int = 0
+    #: Shards dropped after exhausting their retries.
+    dropped_shards: int = 0
+    #: ``weeks × domains`` grid cells those shards covered.
+    dropped_cells: int = 0
+    #: Shard re-dispatch attempts across the whole run.
+    shard_retries: int = 0
+    #: Total simulated backoff wait (seconds; never slept for real).
+    backoff_seconds: float = 0.0
+    #: One ``"<shard identity>: <error>"`` line per dropped shard,
+    #: ordered by shard index.
+    shard_errors: Tuple[str, ...] = ()
 
     @property
     def average_weekly_collected(self) -> float:
@@ -68,6 +87,11 @@ class CrawlReport:
             return 0.0
         return self.cache_hits / lookups
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any part of the crawl grid was dropped."""
+        return self.dropped_shards > 0
+
 
 @dataclasses.dataclass
 class BlockStats:
@@ -77,6 +101,11 @@ class BlockStats:
     failures: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    dropped_shards: int = 0
+    dropped_cells: int = 0
+    shard_retries: int = 0
+    backoff_seconds: float = 0.0
+    shard_errors: Tuple[str, ...] = ()
 
 
 def profile_from_manifest(
@@ -162,6 +191,11 @@ class Crawler:
             config's ``execution`` section.
         incremental: Profile-cache override; defaults to the scenario
             config's ``incremental`` section.
+        fault_plan: Deterministic chaos schedule
+            (:class:`~repro.runtime.FaultPlan`); ``None`` runs
+            fault-free.  With a plan active the crawl always goes
+            through the resilient dispatch path, so injected faults
+            behave identically on every backend.
     """
 
     def __init__(
@@ -173,6 +207,7 @@ class Crawler:
         apply_filter: bool = True,
         execution: Optional[ExecutionConfig] = None,
         incremental: Optional[IncrementalConfig] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         if mode not in ("full", "manifest"):
             raise CrawlError(f"unknown crawl mode {mode!r}")
@@ -191,6 +226,7 @@ class Crawler:
         self.apply_filter = apply_filter
         self.execution = execution or ecosystem.config.execution
         self.incremental = incremental or ecosystem.config.incremental
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     def run(self, weeks: Optional[Sequence[Week]] = None) -> CrawlReport:
@@ -233,9 +269,16 @@ class Crawler:
             shard_size=execution.shard_size,
         )
         backend_name = execution.resolved_backend
-        if backend_name == "serial" and len(shards) <= 1:
+        if (
+            self.fault_plan is None
+            and backend_name == "serial"
+            and len(shards) <= 1
+        ):
             stats = self.crawl_block(target_weeks, domains)
         else:
+            # A fault plan always takes the dispatch path, even for a
+            # single serial shard: injection points and retry/drop
+            # semantics must be identical on every backend.
             stats = self._run_sharded(
                 shards, target_weeks, domains, backend_name, execution.workers
             )
@@ -248,6 +291,11 @@ class Crawler:
             filter_report=filter_report,
             cache_hits=stats.cache_hits,
             cache_misses=stats.cache_misses,
+            dropped_shards=stats.dropped_shards,
+            dropped_cells=stats.dropped_cells,
+            shard_retries=stats.shard_retries,
+            backoff_seconds=stats.backoff_seconds,
+            shard_errors=stats.shard_errors,
         )
 
     # ------------------------------------------------------------------
@@ -335,8 +383,11 @@ class Crawler:
         Workers rebuild their ecosystems deterministically from the
         scenario config and ship partial stores back through the
         persistence dict codec; folding uses the store's exact merge.
+        Failed shards are retried with bounded backoff and, once
+        exhausted, dropped with accounting rather than aborting the run
+        (see :mod:`repro.runtime.dispatch`).
         """
-        from ..runtime import ShardTask, execute_shard, get_backend
+        from ..runtime import ShardTask, dispatch_shards, get_backend
         from .persistence import store_from_dict
 
         # Workers rebuild their crawler from the config, so explicit
@@ -360,12 +411,25 @@ class Crawler:
                     week_ordinals=tuple(w.ordinal for w in shard_weeks),
                     domain_names=tuple(d.name for d in shard_domains),
                     database=self.store.matcher.database,
+                    shard_index=shard.index,
+                    backend_name=backend_name,
+                    fault_plan=self.fault_plan,
                 )
             )
 
         backend = get_backend(backend_name, workers)
+        execution = self.execution
+        outcome = dispatch_shards(
+            backend,
+            tasks,
+            max_retries=execution.max_shard_retries,
+            on_failure=execution.on_shard_failure,
+        )
+
         stats = BlockStats()
-        for payload in backend.map(execute_shard, tasks):
+        for payload in outcome.payloads:
+            if payload is None:
+                continue
             partial = store_from_dict(
                 payload["store"], self.store.calendar, self.store.matcher
             )
@@ -374,6 +438,16 @@ class Crawler:
             stats.failures += payload["failures"]
             stats.cache_hits += payload.get("cache_hits", 0)
             stats.cache_misses += payload.get("cache_misses", 0)
+        stats.dropped_shards = len(outcome.dropped)
+        stats.dropped_cells = sum(
+            shards[failure.shard_index].cells for failure in outcome.dropped
+        )
+        stats.shard_retries = outcome.retries
+        stats.backoff_seconds = outcome.backoff_seconds
+        stats.shard_errors = tuple(
+            f"{failure.description}: {failure.error}"
+            for failure in outcome.dropped
+        )
         return stats
 
     # ------------------------------------------------------------------
@@ -385,13 +459,21 @@ class Crawler:
         the same draws the network would make for the first request plus
         one retry, where transient failures (connect, timeout) retry but
         a 5xx answer is terminal — exactly the fetcher's semantics.
+
+        During a transport surge (an elevated failure schedule installed
+        on the network, e.g. by a fault plan), *every* live domain is
+        subject to those draws — mirroring what the full path's fetches
+        would experience that week.
         """
         if not domain.alive_at(ordinal):
             return False
         if domain.reachability is Reachability.ANTIBOT:
             return False
-        if domain.reachability is Reachability.FLAKY:
-            failures = self.ecosystem.network.failures
+        failures = self.ecosystem.network.failures
+        if (
+            domain.reachability is Reachability.FLAKY
+            or ordinal in failures.surge
+        ):
             for attempt in (0, 1):
                 outcome = failures.outcome(domain.name, ordinal, attempt)
                 if outcome in ("connect_failure", "timeout"):

@@ -48,6 +48,46 @@ class CrawlError(ReproError):
     """The crawler could not complete a scheduled operation."""
 
 
+class ShardExecutionError(CrawlError):
+    """A shard worker failed; carries the shard's identity for diagnosis.
+
+    Attributes:
+        shard_index: Position of the shard in the dispatch plan.
+        description: Human-readable shard identity (week span, domain
+            span, backend name).
+        attempts: How many times the shard was attempted before failing.
+        cause: ``"TypeName: message"`` of the worker-side exception.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        description: str,
+        attempts: int,
+        cause: str,
+    ) -> None:
+        self.shard_index = shard_index
+        self.description = description
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"{description} failed after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}: {cause}"
+        )
+
+
+class InjectedFault(CrawlError):
+    """Base class for faults injected by a :class:`~repro.runtime.FaultPlan`."""
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A planned worker crash fired at a shard boundary."""
+
+
+class InjectedShardTimeout(InjectedFault):
+    """A planned shard timeout fired at a shard boundary."""
+
+
 class StoreError(ReproError):
     """The snapshot store rejected an operation."""
 

@@ -60,12 +60,35 @@ class FailureModel:
         self.seed = seed
         self.default = default or HostCondition()
         self._conditions: Dict[str, HostCondition] = {}
+        #: clock ordinal -> *additional* failure rates applied to every
+        #: host while the network clock sits on that ordinal (a
+        #: transport surge, e.g. injected by a fault plan).  Latency on
+        #: surge entries is ignored.  Outcomes stay pure functions of
+        #: (seed, host, clock, ordinal, rates), so a surge is exactly as
+        #: deterministic as the base schedule.
+        self.surge: Dict[int, HostCondition] = {}
 
     def set_condition(self, host: str, condition: HostCondition) -> None:
         self._conditions[host.lower()] = condition
 
     def condition_for(self, host: str) -> HostCondition:
         return self._conditions.get(host.lower(), self.default)
+
+    def effective_rates(self, host: str, clock: int) -> Tuple[float, float, float]:
+        """(connect, timeout, 5xx) rates for ``host`` at ``clock``, surge included."""
+        condition = self.condition_for(host)
+        extra = self.surge.get(clock)
+        if extra is None:
+            return (
+                condition.connect_failure_rate,
+                condition.timeout_rate,
+                condition.server_error_rate,
+            )
+        return (
+            min(1.0, condition.connect_failure_rate + extra.connect_failure_rate),
+            min(1.0, condition.timeout_rate + extra.timeout_rate),
+            min(1.0, condition.server_error_rate + extra.server_error_rate),
+        )
 
     def _draw(self, host: str, clock: int, ordinal: int, channel: str) -> float:
         material = f"{self.seed}|{host}|{clock}|{ordinal}|{channel}".encode()
@@ -74,17 +97,19 @@ class FailureModel:
 
     def outcome(self, host: str, clock: int, ordinal: int) -> str:
         """One of ``"ok"``, ``"connect_failure"``, ``"timeout"``, ``"server_error"``."""
-        condition = self.condition_for(host)
-        if condition.connect_failure_rate and (
-            self._draw(host, clock, ordinal, "connect") < condition.connect_failure_rate
+        connect_rate, timeout_rate, server_error_rate = self.effective_rates(
+            host, clock
+        )
+        if connect_rate and (
+            self._draw(host, clock, ordinal, "connect") < connect_rate
         ):
             return "connect_failure"
-        if condition.timeout_rate and (
-            self._draw(host, clock, ordinal, "timeout") < condition.timeout_rate
+        if timeout_rate and (
+            self._draw(host, clock, ordinal, "timeout") < timeout_rate
         ):
             return "timeout"
-        if condition.server_error_rate and (
-            self._draw(host, clock, ordinal, "5xx") < condition.server_error_rate
+        if server_error_rate and (
+            self._draw(host, clock, ordinal, "5xx") < server_error_rate
         ):
             return "server_error"
         return "ok"

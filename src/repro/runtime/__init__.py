@@ -1,4 +1,4 @@
-"""Execution runtime: shard planning and pluggable backends.
+"""Execution runtime: shard planning, pluggable backends, chaos, dispatch.
 
 The crawl pipeline scales by partitioning the ``weeks × domains`` space
 into balanced, non-overlapping shards (:mod:`.sharding`), executing each
@@ -6,9 +6,20 @@ shard as a self-contained task (:mod:`.worker`) on a serial, thread, or
 process backend (:mod:`.backends`), and merging the partial observation
 stores exactly (:meth:`~repro.crawler.ObservationStore.merge`).
 
+Robustness lives in two layers added on top:
+
+* :mod:`.faults` — a seeded :class:`FaultPlan` injects worker crashes,
+  shard timeouts, and transport surges at backend-independent points,
+  deterministically per (seed, plan);
+* :mod:`.dispatch` — shard failures are isolated, retried with bounded
+  exponential backoff on a simulated clock, and finally *dropped with
+  accounting* instead of aborting the run.
+
 Determinism guarantee: for a given scenario seed, every backend and
 every worker count produce bit-identical aggregates — parallelism is an
-execution detail, never an observable one.
+execution detail, never an observable one.  With a fault plan active the
+same holds for the degraded result: identical drop sets, retry counts,
+and stores per (seed, plan).
 """
 
 from .backends import (
@@ -18,8 +29,19 @@ from .backends import (
     ThreadBackend,
     get_backend,
 )
+from .dispatch import (
+    BACKOFF_BASE,
+    BACKOFF_CAP,
+    DispatchResult,
+    ShardFailure,
+    SimulatedClock,
+    WallClock,
+    backoff_delay,
+    dispatch_shards,
+)
+from .faults import FaultPlan
 from .sharding import Shard, plan_shards
-from .worker import ShardTask, execute_shard
+from .worker import ShardTask, execute_shard, execute_shard_safely
 
 __all__ = [
     "ExecutionBackend",
@@ -31,4 +53,14 @@ __all__ = [
     "plan_shards",
     "ShardTask",
     "execute_shard",
+    "execute_shard_safely",
+    "FaultPlan",
+    "SimulatedClock",
+    "WallClock",
+    "DispatchResult",
+    "ShardFailure",
+    "dispatch_shards",
+    "backoff_delay",
+    "BACKOFF_BASE",
+    "BACKOFF_CAP",
 ]

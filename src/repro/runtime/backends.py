@@ -44,11 +44,21 @@ class ExecutionBackend(Protocol):
 
 
 class SerialBackend:
-    """Runs shards one after another in the calling thread."""
+    """Runs shards one after another in the calling thread.
+
+    ``workers`` is accepted for constructor parity with the parallel
+    backends but serial execution is single-worker by definition: the
+    argument is validated (must be >= 1), preserved as
+    ``requested_workers`` for diagnostics, and ``workers`` is pinned to
+    1 so callers consulting the backend see its true parallelism.
+    """
 
     name = "serial"
 
     def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise CrawlError("workers must be >= 1")
+        self.requested_workers = workers
         self.workers = 1
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:

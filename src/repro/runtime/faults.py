@@ -1,0 +1,215 @@
+"""Deterministic chaos: seeded fault plans for the shard pipeline.
+
+The paper's four-year crawl survived DNS outages, timeouts, flaky 5xxs,
+and partial weekly snapshots.  A :class:`FaultPlan` reproduces that
+hostile environment *deterministically*: every injected fault is a pure
+function of the plan's seed and a backend-independent coordinate, so two
+runs with the same ``(scenario seed, plan)`` experience byte-identical
+failure histories — on any backend, at any worker count.
+
+Three fault families are supported:
+
+* **Worker crashes** — a shard attempt raises
+  :class:`~repro.errors.InjectedWorkerCrash` at the shard boundary,
+  before any network activity.  Decided by
+  ``draw(seed, shard key, attempt)``, so the same shard crashes (or
+  doesn't) no matter which process or thread picks it up, and a retry is
+  a fresh draw.
+* **Shard timeouts** — identical mechanics,
+  :class:`~repro.errors.InjectedShardTimeout`; kept as a separate
+  channel so crash and timeout schedules are independent.
+* **Transport surges** — elevated connect-failure / timeout / 5xx rates
+  on chosen week ordinals, layered onto the virtual network's
+  :class:`~repro.netsim.network.FailureModel` (see its ``surge``
+  attribute).  Surge outcomes remain pure functions of
+  (network seed, host, clock, request ordinal, rates), so they are as
+  deterministic as the base failure schedule — the crawl *degrades*, it
+  never diverges.
+
+Injection points are shard boundaries and network draws — both
+backend-independent by construction — which is what lets the invariant
+harness (``tests/test_invariants.py``) assert exact equality between
+runs rather than mere statistical similarity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from ..netsim.network import HostCondition
+
+#: Fault kinds returned by :meth:`FaultPlan.shard_fault`.
+CRASH = "crash"
+TIMEOUT = "timeout"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable schedule of injected faults.
+
+    Attributes:
+        seed: Root seed for every fault draw (independent of the
+            scenario seed — the same chaos can replay over different
+            datasets and vice versa).
+        crash_rate: Probability a shard *attempt* crashes at its
+            boundary.
+        timeout_rate: Probability a shard attempt times out at its
+            boundary (drawn after the crash channel).
+        surge_weeks: Week ordinals under a transport surge.
+        surge_connect_failure_rate: Extra per-request connect-failure
+            probability during surge weeks (added to each host's base
+            rate, capped at 1.0).
+        surge_timeout_rate: Extra per-request timeout probability during
+            surge weeks.
+        surge_server_error_rate: Extra per-request 5xx probability
+            during surge weeks.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    timeout_rate: float = 0.0
+    surge_weeks: Tuple[int, ...] = ()
+    surge_connect_failure_rate: float = 0.0
+    surge_timeout_rate: float = 0.0
+    surge_server_error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crash_rate",
+            "timeout_rate",
+            "surge_connect_failure_rate",
+            "surge_timeout_rate",
+            "surge_server_error_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {value}")
+        if any(w < 0 for w in self.surge_weeks):
+            raise ConfigError("surge_weeks must be non-negative week ordinals")
+
+    # ------------------------------------------------------------------
+    def _draw(self, key: str, attempt: int, channel: str) -> float:
+        material = f"{self.seed}|{key}|{attempt}|{channel}".encode()
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def shard_fault(self, shard_key: str, attempt: int) -> Optional[str]:
+        """The planned fault for one shard attempt, if any.
+
+        Returns ``"crash"``, ``"timeout"``, or ``None``.  Pure in
+        ``(plan, shard_key, attempt)`` — the dispatch order, backend,
+        and worker count can never change the answer.
+        """
+        if self.crash_rate and (
+            self._draw(shard_key, attempt, "crash") < self.crash_rate
+        ):
+            return CRASH
+        if self.timeout_rate and (
+            self._draw(shard_key, attempt, "timeout") < self.timeout_rate
+        ):
+            return TIMEOUT
+        return None
+
+    def surge_conditions(self) -> Dict[int, HostCondition]:
+        """The ``clock -> extra rates`` map the network's failure model consumes."""
+        if not self.surge_weeks:
+            return {}
+        extra = HostCondition(
+            connect_failure_rate=self.surge_connect_failure_rate,
+            timeout_rate=self.surge_timeout_rate,
+            server_error_rate=self.surge_server_error_rate,
+            latency=0.0,
+        )
+        return {ordinal: extra for ordinal in self.surge_weeks}
+
+    @property
+    def injects_shard_faults(self) -> bool:
+        return bool(self.crash_rate or self.timeout_rate)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.crash_rate:
+            parts.append(f"crash={self.crash_rate:g}")
+        if self.timeout_rate:
+            parts.append(f"timeout={self.timeout_rate:g}")
+        if self.surge_weeks:
+            lo, hi = min(self.surge_weeks), max(self.surge_weeks)
+            span = str(lo) if lo == hi else f"{lo}-{hi}"
+            parts.append(f"weeks={span}")
+            if self.surge_connect_failure_rate:
+                parts.append(f"surgeconnect={self.surge_connect_failure_rate:g}")
+            if self.surge_timeout_rate:
+                parts.append(f"surgetimeout={self.surge_timeout_rate:g}")
+            if self.surge_server_error_rate:
+                parts.append(f"surge5xx={self.surge_server_error_rate:g}")
+        return ",".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact CLI spec into a plan.
+
+        Format: comma-separated ``key=value`` pairs, e.g.::
+
+            seed=7,crash=0.25,timeout=0.1,weeks=0-5,surge5xx=0.6
+
+        Keys: ``seed``, ``crash``, ``timeout``, ``weeks`` (one ordinal or
+        an inclusive ``lo-hi`` range), ``surgeconnect``, ``surgetimeout``,
+        ``surge5xx``.
+        """
+        fields = {
+            "seed": 0,
+            "crash_rate": 0.0,
+            "timeout_rate": 0.0,
+            "surge_weeks": (),
+            "surge_connect_failure_rate": 0.0,
+            "surge_timeout_rate": 0.0,
+            "surge_server_error_rate": 0.0,
+        }
+        aliases = {
+            "seed": "seed",
+            "crash": "crash_rate",
+            "timeout": "timeout_rate",
+            "surgeconnect": "surge_connect_failure_rate",
+            "surgetimeout": "surge_timeout_rate",
+            "surge5xx": "surge_server_error_rate",
+        }
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ConfigError(
+                    f"bad fault-plan token {token!r}; expected key=value"
+                )
+            key, _, raw = token.partition("=")
+            key = key.strip().lower()
+            raw = raw.strip()
+            try:
+                if key == "weeks":
+                    if "-" in raw:
+                        lo_s, _, hi_s = raw.partition("-")
+                        lo, hi = int(lo_s), int(hi_s)
+                    else:
+                        lo = hi = int(raw)
+                    if hi < lo:
+                        raise ValueError("empty week range")
+                    fields["surge_weeks"] = tuple(range(lo, hi + 1))
+                elif key == "seed":
+                    fields["seed"] = int(raw)
+                elif key in aliases:
+                    fields[aliases[key]] = float(raw)
+                else:
+                    raise ConfigError(
+                        f"unknown fault-plan key {key!r}; expected one of "
+                        f"seed, crash, timeout, weeks, surgeconnect, "
+                        f"surgetimeout, surge5xx"
+                    )
+            except ValueError as exc:
+                raise ConfigError(
+                    f"bad fault-plan value {raw!r} for {key!r}: {exc}"
+                ) from None
+        return cls(**fields)  # type: ignore[arg-type]

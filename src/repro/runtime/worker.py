@@ -29,7 +29,9 @@ import threading
 from typing import Dict, Optional, Tuple
 
 from ..config import ScenarioConfig
+from ..errors import InjectedFault, InjectedShardTimeout, InjectedWorkerCrash
 from ..webgen import WebEcosystem
+from .faults import CRASH, TIMEOUT, FaultPlan
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,6 +45,10 @@ class ShardTask:
             target weeks.
         domain_names: Names of the shard's retained domains.
         database: Vulnerability database; ``None`` means the default.
+        shard_index: Position in the dispatch plan (fold order).
+        attempt: Zero-based retry attempt this task represents.
+        backend_name: Backend executing the task (error diagnostics).
+        fault_plan: Chaos schedule; ``None`` runs fault-free.
     """
 
     config: ScenarioConfig
@@ -50,6 +56,48 @@ class ShardTask:
     week_ordinals: Tuple[int, ...]
     domain_names: Tuple[str, ...]
     database: Optional[object] = None
+    shard_index: int = 0
+    attempt: int = 0
+    backend_name: str = "serial"
+    fault_plan: Optional[FaultPlan] = None
+
+    # ------------------------------------------------------------------
+    def shard_key(self) -> str:
+        """Backend-independent coordinate for fault draws.
+
+        Depends only on what the shard *covers* — never on attempt,
+        backend, or dispatch order — so a plan's verdict for this shard
+        is identical wherever and whenever it runs.
+        """
+        if not self.week_ordinals or not self.domain_names:
+            return "empty"
+        return (
+            f"weeks:{self.week_ordinals[0]}-{self.week_ordinals[-1]}"
+            f"|domains:{self.domain_names[0]}..{self.domain_names[-1]}"
+            f"|n={len(self.domain_names)}"
+        )
+
+    def describe(self) -> str:
+        """Human-readable shard identity for logs and wrapped errors."""
+        if not self.week_ordinals or not self.domain_names:
+            return f"shard {self.shard_index} [empty, backend {self.backend_name}]"
+        weeks = (
+            f"week {self.week_ordinals[0]}"
+            if len(self.week_ordinals) == 1
+            else f"weeks {self.week_ordinals[0]}-{self.week_ordinals[-1]}"
+        )
+        domains = (
+            f"domain {self.domain_names[0]}"
+            if len(self.domain_names) == 1
+            else (
+                f"domains {self.domain_names[0]}..{self.domain_names[-1]} "
+                f"({len(self.domain_names)})"
+            )
+        )
+        return (
+            f"shard {self.shard_index} [{weeks}, {domains}, "
+            f"backend {self.backend_name}]"
+        )
 
 
 #: (thread ident, config digest) -> ecosystem; bounded LRU per interpreter.
@@ -86,6 +134,11 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
     Returns:
         ``{"store": <store_to_dict payload>, "pages": int,
         "failures": int, "cache_hits": int, "cache_misses": int}``.
+
+    Raises:
+        InjectedWorkerCrash: The task's fault plan scheduled a crash for
+            this (shard, attempt).
+        InjectedShardTimeout: The plan scheduled a timeout.
     """
     # Imported here (not at module top) to keep crawler <-> runtime
     # imports acyclic.
@@ -94,7 +147,34 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
     from ..crawler.store import ObservationStore
     from ..vulndb import VersionMatcher, default_database
 
+    plan = task.fault_plan
+    if plan is not None:
+        # Planned faults fire at the shard boundary, before any network
+        # activity — the one point every backend passes through
+        # identically, which keeps retries idempotent by construction.
+        fault = plan.shard_fault(task.shard_key(), task.attempt)
+        if fault == CRASH:
+            raise InjectedWorkerCrash(
+                f"injected worker crash in {task.describe()} "
+                f"(attempt {task.attempt + 1})"
+            )
+        if fault == TIMEOUT:
+            raise InjectedShardTimeout(
+                f"injected shard timeout in {task.describe()} "
+                f"(attempt {task.attempt + 1})"
+            )
+
     ecosystem = _ecosystem_for(task.config)
+    # Cached ecosystems are reused across shards (and fault plans), so
+    # surge state is (re)installed per task rather than per ecosystem.
+    ecosystem.network.failures.surge = (
+        plan.surge_conditions() if plan is not None else {}
+    )
+    # Per-(host, clock) request counters are disjoint across shards, so
+    # clearing them is invisible to fault-free runs — but it guarantees a
+    # retried shard replays the exact failure schedule its first attempt
+    # saw, even if that attempt died mid-crawl.
+    ecosystem.network.reset_ordinals()
     database = task.database if task.database is not None else default_database()
     store = ObservationStore(task.config.calendar, VersionMatcher(database))
     crawler = Crawler(
@@ -110,9 +190,30 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
         domains.append(domain)
     stats = crawler.crawl_block(weeks, domains)
     return {
+        "ok": True,
         "store": store_to_dict(store),
         "pages": stats.pages,
         "failures": stats.failures,
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
     }
+
+
+def execute_shard_safely(task: ShardTask) -> Dict[str, object]:
+    """:func:`execute_shard`, with failures captured instead of raised.
+
+    Worker exceptions — injected or real — are encoded into the returned
+    payload so they survive the pickle boundary of the process backend
+    and so one bad shard can never abort its siblings mid-flight.  The
+    dispatcher decides what a failure means (retry, drop, or raise a
+    wrapped :class:`~repro.errors.ShardExecutionError`).
+    """
+    try:
+        return execute_shard(task)
+    except Exception as exc:  # noqa: BLE001 - the whole point is capture
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "injected": isinstance(exc, InjectedFault),
+            "shard": task.describe(),
+        }

@@ -77,6 +77,75 @@ class TestFetcher:
         assert result.outcome is FetchOutcome.REDIRECT_LOOP
 
 
+class TestFetcherEdgeCases:
+    """Boundary settings: zero retries, zero redirects, terminal 5xx."""
+
+    def _flaky_network(self, condition):
+        network = VirtualNetwork()
+        network.attach("edge.example", StaticHost("edge.example", {"/": "body"}))
+        network.failures.set_condition("edge.example", condition)
+        return network
+
+    @pytest.mark.parametrize(
+        "condition, expected_outcome",
+        [
+            (
+                HostCondition(connect_failure_rate=1.0),
+                FetchOutcome.CONNECT_FAILURE,
+            ),
+            (HostCondition(timeout_rate=1.0), FetchOutcome.TIMEOUT),
+        ],
+        ids=["connect-failure", "timeout"],
+    )
+    def test_zero_retries_fails_after_one_attempt(
+        self, condition, expected_outcome
+    ):
+        network = self._flaky_network(condition)
+        result = Fetcher(network, retries=0).fetch_domain("edge.example")
+        assert result.outcome is expected_outcome
+        assert result.attempts == 1
+
+    def test_zero_redirect_budget_rejects_any_redirect(self):
+        network = VirtualNetwork()
+        network.attach(
+            "hop.example",
+            FunctionHost(
+                "hop.example",
+                lambda req: text_response(
+                    "", status=301, headers={"location": "https://end.example/"}
+                ),
+            ),
+        )
+        network.attach("end.example", StaticHost("end.example", {"/": "landed"}))
+        result = Fetcher(network, max_redirects=0).fetch_domain("hop.example")
+        assert result.outcome is FetchOutcome.REDIRECT_LOOP
+        assert result.attempts == 1
+
+    def test_redirect_chain_ending_in_5xx_is_terminal(self):
+        # a 301s to b; b always answers 503.  The 5xx is an HTTP-level
+        # outcome, not a transport failure, so even with a retry budget
+        # the fetcher must not retry it.
+        network = VirtualNetwork()
+        network.attach(
+            "a.example",
+            FunctionHost(
+                "a.example",
+                lambda req: text_response(
+                    "", status=301, headers={"location": "https://b.example/"}
+                ),
+            ),
+        )
+        network.attach("b.example", StaticHost("b.example", {"/": "fine"}))
+        network.failures.set_condition(
+            "b.example", HostCondition(server_error_rate=1.0)
+        )
+        result = Fetcher(network, retries=1).fetch_domain("a.example")
+        assert result.outcome is FetchOutcome.HTTP_ERROR
+        assert result.status == 503
+        assert result.attempts == 1
+        assert result.final_url == "https://b.example/"
+
+
 class TestFilter:
     def test_filter_removes_dead_and_antibot(self):
         config = ScenarioConfig(population=300, seed=9)

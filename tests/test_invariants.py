@@ -1,0 +1,353 @@
+"""Property-based invariant harness for the sharded, fault-tolerant crawl.
+
+Fuzzes seeds × shard sizes × backends × fault plans (via the stdlib-only
+generators in ``proptest.py``) and asserts the pipeline's standing
+contracts *exactly* — byte-identical persisted stores, not statistical
+similarity:
+
+* faults off: every backend and shard size produces the bit-identical
+  store a serial pass produces;
+* faults on: two runs with the same (scenario seed, fault plan) produce
+  identical :class:`~repro.crawler.CrawlReport`\\ s — including
+  dropped-shard accounting and simulated backoff — and identical stores,
+  on every backend;
+* ``ObservationStore.merge`` is associative and commutative over random
+  contiguous grid partitions;
+* the profile cache never changes bytes, even under injected 5xx /
+  timeout schedules;
+* conservation: every ``weeks × domains`` cell is accounted for as a
+  page, a fetch failure, or a dropped cell.
+
+All of it runs without wall-clock sleeps (enforced below) on one CPU.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import proptest
+
+from repro import FaultPlan, ScenarioConfig
+from repro.config import AccessibilityConfig, ExecutionConfig, IncrementalConfig
+from repro.crawler import Crawler, ObservationStore
+from repro.crawler.persistence import store_from_dict, store_to_dict
+from repro.vulndb import VersionMatcher, default_database
+from repro.webgen import WebEcosystem
+
+
+@pytest.fixture(autouse=True)
+def forbid_real_sleeps(monkeypatch):
+    """The chaos layer's backoff is simulated; real sleeps are a bug."""
+
+    def _no_sleep(seconds):
+        raise AssertionError(
+            f"time.sleep({seconds!r}) called during a chaos test - "
+            f"backoff must use the simulated clock"
+        )
+
+    monkeypatch.setattr(time, "sleep", _no_sleep)
+
+
+def _fresh_store(config):
+    return ObservationStore(config.calendar, VersionMatcher(default_database()))
+
+
+def _serial_baseline(config, weeks, mode="manifest"):
+    ecosystem = WebEcosystem(config)
+    store = _fresh_store(config)
+    Crawler(ecosystem, store=store, mode=mode, apply_filter=False).crawl_block(
+        weeks, list(ecosystem.population)
+    )
+    return store_to_dict(store)
+
+
+def _run_crawler(
+    config,
+    weeks,
+    mode="manifest",
+    backend="serial",
+    workers=1,
+    shard_size=0,
+    max_retries=2,
+    plan=None,
+    profile_cache=None,
+):
+    crawler = Crawler(
+        WebEcosystem(config),
+        mode=mode,
+        apply_filter=False,
+        execution=ExecutionConfig(
+            backend=backend,
+            workers=workers,
+            shard_size=shard_size,
+            max_shard_retries=max_retries,
+        ),
+        incremental=(
+            IncrementalConfig(profile_cache=profile_cache)
+            if profile_cache is not None
+            else None
+        ),
+        fault_plan=plan,
+    )
+    report = crawler.run(weeks=weeks)
+    return report, store_to_dict(crawler.store)
+
+
+class TestBackendIdentityFaultFree:
+    """Faults off: execution shape can never change a byte."""
+
+    def test_stores_identical_across_backends_and_shard_sizes(self):
+        def prop(rng, seed):
+            config = ScenarioConfig(
+                population=rng.choice((30, 40, 50)), seed=seed
+            )
+            n_weeks = rng.randint(3, 5)
+            weeks = config.calendar.weeks[:n_weeks]
+            baseline = _serial_baseline(config, weeks)
+            for backend in ("serial", "thread"):
+                workers = rng.randint(2, 3)
+                shard_size = rng.choice((0, rng.randint(7, 60)))
+                report, store = _run_crawler(
+                    config,
+                    weeks,
+                    backend=backend,
+                    workers=workers,
+                    shard_size=shard_size,
+                )
+                assert store == baseline, (
+                    f"{backend} x{workers} shard_size={shard_size} diverged"
+                )
+                assert not report.degraded
+                assert report.shard_retries == 0
+                assert report.backoff_seconds == 0.0
+
+        proptest.forall(prop)
+
+
+class TestFaultDeterminism:
+    """Same (scenario seed, plan) => the identical degraded run."""
+
+    def test_fault_runs_reproduce_exactly(self):
+        def prop(rng, seed):
+            config = ScenarioConfig(population=40, seed=seed)
+            weeks = config.calendar.weeks[: rng.randint(3, 4)]
+            plan = proptest.fault_plan(rng, [w.ordinal for w in weeks])
+            shard_size = rng.randint(10, 50)
+            max_retries = rng.randint(0, 2)
+
+            first = _run_crawler(
+                config,
+                weeks,
+                backend="serial",
+                workers=2,
+                shard_size=shard_size,
+                max_retries=max_retries,
+                plan=plan,
+            )
+            second = _run_crawler(
+                config,
+                weeks,
+                backend="serial",
+                workers=2,
+                shard_size=shard_size,
+                max_retries=max_retries,
+                plan=plan,
+            )
+            report, store = first
+            report2, store2 = second
+            # CrawlReport equality covers the dropped-shard accounting,
+            # retry counts, simulated backoff, and error lines.
+            assert report == report2
+            assert store == store2
+
+            # The same plan on a different backend drops the same shards
+            # and produces the same bytes.
+            report3, store3 = _run_crawler(
+                config,
+                weeks,
+                backend="thread",
+                workers=3,
+                shard_size=shard_size,
+                max_retries=max_retries,
+                plan=plan,
+            )
+            assert store3 == store
+            assert report3.dropped_shards == report.dropped_shards
+            assert report3.dropped_cells == report.dropped_cells
+            assert report3.shard_retries == report.shard_retries
+            assert report3.backoff_seconds == report.backoff_seconds
+            # Error lines match up to the backend name baked into each
+            # shard description.
+            assert tuple(
+                line.replace("backend thread", "backend serial")
+                for line in report3.shard_errors
+            ) == report.shard_errors
+
+        proptest.forall(prop)
+
+    def test_every_cell_is_accounted_for(self):
+        """pages + fetch failures + dropped cells == the full grid."""
+
+        def prop(rng, seed):
+            config = ScenarioConfig(population=40, seed=seed)
+            weeks = config.calendar.weeks[: rng.randint(3, 4)]
+            plan = proptest.fault_plan(rng, [w.ordinal for w in weeks])
+            report, _ = _run_crawler(
+                config,
+                weeks,
+                backend="thread",
+                workers=2,
+                shard_size=rng.randint(10, 40),
+                max_retries=rng.randint(0, 1),
+                plan=plan,
+            )
+            grid = len(weeks) * config.population
+            assert (
+                report.pages_collected
+                + report.fetch_failures
+                + report.dropped_cells
+                == grid
+            )
+
+        proptest.forall(prop)
+
+
+class TestMergeAlgebra:
+    """merge() is associative and commutative over contiguous partitions."""
+
+    def test_random_grid_partitions_reassemble_exactly(self):
+        def prop(rng, seed):
+            config = ScenarioConfig(population=40, seed=seed)
+            n_weeks = rng.randint(3, 5)
+            weeks = config.calendar.weeks[:n_weeks]
+            baseline = _serial_baseline(config, weeks)
+
+            splits = proptest.grid_splits(rng, n_weeks, config.population)
+            partials = []
+            for week_lo, week_hi, domain_lo, domain_hi in splits:
+                ecosystem = WebEcosystem(config)
+                store = _fresh_store(config)
+                Crawler(
+                    ecosystem, store=store, mode="manifest", apply_filter=False
+                ).crawl_block(
+                    weeks[week_lo:week_hi],
+                    list(ecosystem.population)[domain_lo:domain_hi],
+                )
+                partials.append(store_to_dict(store))
+
+            def fold(order):
+                acc = _fresh_store(config)
+                for i in order:
+                    acc.merge(store_from_dict(partials[i], config.calendar))
+                return store_to_dict(acc)
+
+            identity = list(range(len(partials)))
+            shuffled = identity[:]
+            rng.shuffle(shuffled)
+            assert fold(identity) == baseline
+            assert fold(shuffled) == baseline
+
+        proptest.forall(prop)
+
+
+class TestCacheIdentityUnderFaults:
+    """The profile cache never changes bytes — even mid-surge."""
+
+    def test_cache_on_off_identical_under_5xx_and_timeouts(self):
+        def prop(rng, seed):
+            accessibility = AccessibilityConfig(flaky_server_error_rate=0.25)
+            config = ScenarioConfig(
+                population=36, seed=seed, accessibility=accessibility
+            )
+            weeks = config.calendar.weeks[:4]
+            ordinals = [w.ordinal for w in weeks]
+            surge_lo = rng.randrange(len(ordinals) - 1)
+            plan = FaultPlan(
+                seed=rng.randrange(1 << 16),
+                surge_weeks=tuple(ordinals[surge_lo : surge_lo + 2]),
+                surge_server_error_rate=0.4,
+                surge_timeout_rate=0.3,
+            )
+            mode = rng.choice(("full", "manifest"))
+            shard_size = rng.choice((0, rng.randint(20, 60)))
+            on = _run_crawler(
+                config,
+                weeks,
+                mode=mode,
+                backend="thread",
+                workers=2,
+                shard_size=shard_size,
+                plan=plan,
+                profile_cache=True,
+            )
+            off = _run_crawler(
+                config,
+                weeks,
+                mode=mode,
+                backend="thread",
+                workers=2,
+                shard_size=shard_size,
+                plan=plan,
+                profile_cache=False,
+            )
+            assert on[1] == off[1], f"{mode} cache on/off diverged"
+            assert on[0].fetch_failures == off[0].fetch_failures
+            assert off[0].cache_hits == 0 and off[0].cache_misses == 0
+
+        proptest.forall(prop)
+
+    def test_full_and_manifest_agree_under_surge(self):
+        """The surge mirrors the fetcher's semantics in manifest mode."""
+
+        def prop(rng, seed):
+            config = ScenarioConfig(population=30, seed=seed)
+            weeks = config.calendar.weeks[:3]
+            plan = FaultPlan(
+                seed=seed,
+                surge_weeks=tuple(w.ordinal for w in weeks[1:]),
+                surge_connect_failure_rate=0.2,
+                surge_timeout_rate=0.3,
+                surge_server_error_rate=0.4,
+            )
+            full = _run_crawler(config, weeks, mode="full", plan=plan)
+            manifest = _run_crawler(config, weeks, mode="manifest", plan=plan)
+            assert full[1] == manifest[1]
+            assert full[0].fetch_failures == manifest[0].fetch_failures
+
+        proptest.forall(prop)
+
+
+class TestProcessBackendFaultPath:
+    """Injected faults must survive the pickle boundary (one small case)."""
+
+    def test_injected_crash_crosses_process_pool(self):
+        config = ScenarioConfig(population=20, seed=7)
+        weeks = config.calendar.weeks[:2]
+        plan = FaultPlan(seed=1, crash_rate=1.0)
+        report, store = _run_crawler(
+            config,
+            weeks,
+            backend="process",
+            workers=2,
+            max_retries=1,
+            plan=plan,
+        )
+        # crash_rate=1.0 crashes every attempt: everything drops, the
+        # run still completes, and the accounting is exact.
+        assert report.degraded
+        assert report.pages_collected == 0 and report.fetch_failures == 0
+        assert report.dropped_cells == len(weeks) * config.population
+        assert all("injected worker crash" in line for line in report.shard_errors)
+        serial_report, serial_store = _run_crawler(
+            config,
+            weeks,
+            backend="serial",
+            workers=2,
+            max_retries=1,
+            plan=plan,
+        )
+        assert store == serial_store
+        assert report.dropped_shards == serial_report.dropped_shards
+        assert report.backoff_seconds == serial_report.backoff_seconds

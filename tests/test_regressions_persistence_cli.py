@@ -168,3 +168,39 @@ class TestCli:
         from repro.cli import main
 
         assert main(["run", "--population", "60", "--weeks", "0"]) == 2
+
+    def test_run_with_fault_plan_reports_degradation(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "--population",
+                "60",
+                "--seed",
+                "5",
+                "--weeks",
+                "3",
+                "--workers",
+                "2",
+                "--backend",
+                "thread",
+                "--fault-plan",
+                "seed=1,crash=1.0",
+                "--max-shard-retries",
+                "1",
+            ]
+        )
+        assert code == 0  # a degraded run still completes and reports
+        captured = capsys.readouterr()
+        assert "fault plan [seed=1,crash=1]" in captured.err
+        assert "shards dropped" in captured.err
+        assert "simulated backoff" in captured.err
+        assert "injected worker crash" in captured.err
+
+    def test_run_rejects_bad_fault_plan_and_retries(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--fault-plan", "bogus=1"]) == 2
+        assert "unknown fault-plan key" in capsys.readouterr().err
+        assert main(["run", "--max-shard-retries", "-1"]) == 2
