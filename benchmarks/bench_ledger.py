@@ -1,0 +1,174 @@
+"""Durable run ledger: journal overhead and resume vs cold-start.
+
+Checkpointed crawls journal each completed shard's payload (fsync +
+atomic rename) before the merge fold consumes it.  Two questions
+matter for the ledger to be "free" in practice:
+
+* overhead — journaling every shard of a full-mode crawl must cost
+  under ~10% of the crawl's wall-time;
+* resume value — replaying journaled shards instead of re-executing
+  them must beat a cold start, and beat it more the further the
+  original run got before dying.
+
+Stores must stay byte-identical across all of it (the invariant suite
+proves that; here we only spot-check while measuring).
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+from _helpers import record
+
+from repro import ScenarioConfig, Study
+from repro.crawler.persistence import store_to_dict
+
+_POPULATION = 150
+_SEED = 77
+_WEEKS = 10
+_SHARD_SIZE = 200  # 150 domains x 10 weeks = 1500 cells -> 8 shards
+
+
+def _timed_run(checkpoint_dir=None, resume=False):
+    # Profile cache off: the overhead bound is against a crawl that
+    # does real render+fingerprint work per cell, not one whose cells
+    # are already near-free cache hits.
+    study = Study(
+        ScenarioConfig(population=_POPULATION, seed=_SEED),
+        mode="full",
+        workers=2,
+        backend="thread",
+        shard_size=_SHARD_SIZE,
+        profile_cache=False,
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+        resume=resume,
+    )
+    weeks = study.config.calendar.weeks[:_WEEKS]
+    started = time.perf_counter()
+    report = study.run(weeks=weeks)
+    return study, report, time.perf_counter() - started
+
+
+def test_full_crawl_no_ledger(benchmark):
+    """Baseline: the same sharded full-mode crawl, no durability."""
+
+    def crawl():
+        _, report, _ = _timed_run()
+        return report
+
+    report = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    record(benchmark, pages=report.pages_collected)
+    assert report.bytes_journaled == 0
+
+
+def test_full_crawl_with_ledger(benchmark, tmp_path):
+    """Checkpointed variant: every shard journaled before the fold."""
+    runs = iter(range(100))
+
+    def crawl():
+        _, report, _ = _timed_run(tmp_path / f"run-{next(runs)}")
+        return report
+
+    report = benchmark.pedantic(crawl, rounds=1, iterations=1)
+    shards = report.shards_reexecuted
+    record(
+        benchmark,
+        pages=report.pages_collected,
+        shards_journaled=shards,
+        bytes_journaled=report.bytes_journaled,
+        bytes_per_shard=report.bytes_journaled // max(shards, 1),
+    )
+    assert report.bytes_journaled > 0
+
+
+def test_journal_overhead_under_ten_percent(tmp_path):
+    """The acceptance bound: journaling costs <10% of crawl wall-time.
+
+    Whole-run A/B timing cannot measure this on a shared 1-CPU
+    container: consecutive in-process runs inherit each other's
+    allocator/warmup state, and the resulting 10-25% swing persists
+    even with the journal writes no-opped.  So measure the added work
+    itself.  A checkpointed crawl differs from a plain one only in the
+    per-shard ``RunLedger.journal`` calls (the ``JournalingRunner``
+    wrapper dispatches at parity, and byte-identity is the invariant
+    suite's job) — so time a real checkpointed crawl, recover the
+    exact payloads its workers journaled, and re-time journaling them
+    into fresh ledgers.  That write time must stay under 10% of the
+    crawl's wall-time.
+    """
+    from repro.runtime.ledger import RunLedger
+
+    run_dir = tmp_path / "run"
+    study, report, crawl_elapsed = _timed_run(run_dir)
+    assert report.bytes_journaled > 0
+
+    ledger = RunLedger(run_dir)
+    expected = ledger._load_manifest().coverage_keys()
+    entries = []
+    for entry_file in sorted((run_dir / "journal").glob("shard-*.wal")):
+        entry = ledger._validate_entry(entry_file, expected)
+        assert entry is not None, f"journaled entry failed validation: {entry_file}"
+        entries.append(
+            (entry["shard_index"], entry["shard_key"], entry["payload"])
+        )
+    assert len(entries) == report.shards_reexecuted
+
+    journal_times = []
+    for attempt in range(3):
+        fresh = RunLedger(tmp_path / f"rejournal-{attempt}")
+        fresh.journal_dir.mkdir(parents=True)
+        started = time.perf_counter()
+        written = sum(
+            fresh.journal(index, key, payload)
+            for index, key, payload in entries
+        )
+        journal_times.append(time.perf_counter() - started)
+        assert written == report.bytes_journaled
+    journal_elapsed = min(journal_times)
+    overhead = journal_elapsed / crawl_elapsed
+    print(
+        f"\ncrawl: {crawl_elapsed:.2f}s, journaling its {len(entries)} "
+        f"shards: {journal_elapsed * 1000:.1f}ms (overhead {overhead:.1%}, "
+        f"{report.bytes_journaled:,} bytes)"
+    )
+    assert journal_elapsed < crawl_elapsed * 0.10, (
+        f"journal overhead {overhead:.1%} exceeds the 10% budget"
+    )
+
+
+def test_resume_beats_cold_start_by_completion_fraction(tmp_path):
+    """Resuming a run that died at 25/50/75% completion replays the
+    journaled shards and re-executes only the rest, so resume time
+    shrinks as the completion fraction grows."""
+    ref = tmp_path / "ref"
+    _, ref_report, cold_elapsed = _timed_run(ref)
+    baseline = None
+    entries = sorted((ref / "journal").glob("shard-*.wal"))
+    total = len(entries)
+    assert total == ref_report.shards_reexecuted
+
+    lines = [f"cold start: {cold_elapsed:.2f}s ({total} shards)"]
+    timings = {}
+    for fraction in (0.25, 0.5, 0.75):
+        keep = int(total * fraction)
+        work = tmp_path / f"at-{int(fraction * 100)}"
+        shutil.copytree(ref, work)
+        for entry in sorted((work / "journal").glob("shard-*.wal"))[keep:]:
+            entry.unlink()
+        study, report, elapsed = _timed_run(work, resume=True)
+        assert report.shards_replayed == keep
+        assert report.shards_reexecuted == total - keep
+        if baseline is None:
+            baseline = store_to_dict(study.store)
+        else:
+            assert store_to_dict(study.store) == baseline
+        timings[fraction] = elapsed
+        lines.append(
+            f"resume at {fraction:.0%}: {elapsed:.2f}s "
+            f"({keep} replayed, {total - keep} executed)"
+        )
+    print("\n" + "\n".join(lines))
+    # Replaying three quarters of the shards must beat redoing all of
+    # them; the finer gradient is left to the printed numbers (noisy
+    # 1-CPU containers make strict monotonicity assertions flaky).
+    assert timings[0.75] < cold_elapsed

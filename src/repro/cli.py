@@ -5,9 +5,12 @@ Three subcommands::
     repro run [--population N] [--seed S] [--save-store FILE] [--full]
               [--weeks N] [--workers N] [--backend B] [--shard-size C]
               [--max-shard-retries N] [--fault-plan SPEC]
+              [--checkpoint-dir DIR] [--resume]
         Build a scenario, crawl the study weeks (optionally sharded
-        across workers, optionally under an injected fault plan), print
-        the study report.
+        across workers, optionally under an injected fault plan,
+        optionally journaled to a durable checkpoint directory), print
+        the study report.  ``--resume`` replays a killed run's journal
+        and executes only the missing shards.
 
     repro scan FILE [--url URL]
         Fingerprint a local HTML file and print prioritized findings
@@ -46,6 +49,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.max_shard_retries is not None and args.max_shard_retries < 0:
         print("error: --max-shard-retries must be >= 0", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
 
     fault_plan = None
     if args.fault_plan:
@@ -68,12 +74,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profile_cache=False if args.no_profile_cache else None,
         max_shard_retries=args.max_shard_retries,
         fault_plan=fault_plan,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     weeks = None
     if args.weeks is not None:
         weeks = study.config.calendar.weeks[: args.weeks]
     started = time.perf_counter()
-    report = study.run(weeks=weeks)
+    from .errors import CheckpointError
+
+    try:
+        report = study.run(weeks=weeks)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - started
     execution = study.config.execution
     lookups = report.cache_hits + report.cache_misses
@@ -92,6 +106,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{cache_note})",
         file=sys.stderr,
     )
+    if args.checkpoint_dir:
+        print(
+            f"ledger [{args.checkpoint_dir}]: "
+            f"{report.shards_replayed} shard"
+            f"{'s' if report.shards_replayed != 1 else ''} replayed, "
+            f"{report.shards_reexecuted} executed, "
+            f"{report.entries_quarantined} quarantined, "
+            f"{report.bytes_journaled:,} bytes journaled",
+            file=sys.stderr,
+        )
     if fault_plan is not None:
         print(
             f"fault plan [{fault_plan.describe()}]: "
@@ -226,6 +250,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject deterministic chaos, e.g. "
         "'seed=7,crash=0.3,timeout=0.1,weeks=0-5,surge5xx=0.5'; "
         "the same (seed, plan) reproduces the identical degraded run",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="keep a durable run ledger (manifest + per-shard "
+        "write-ahead journal) in DIR so a killed run can be resumed",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the run recorded in --checkpoint-dir: replay "
+        "journaled shards and execute only the missing ones "
+        "(byte-identical to an uninterrupted run)",
     )
     run.set_defaults(func=_cmd_run)
 

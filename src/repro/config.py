@@ -173,6 +173,13 @@ class ExecutionConfig:
     :class:`~repro.runtime.FaultPlan` always degrade — planned chaos is
     an experiment, not a bug.
 
+    Durability: with ``checkpoint_dir`` set, the crawl keeps a run
+    ledger there — a versioned manifest plus a write-ahead journal of
+    every completed shard payload — and ``resume=True`` replays the
+    journal and re-executes only the missing shards.  Like every other
+    execution knob this never changes the dataset: a killed-and-resumed
+    run persists byte-identically to an uninterrupted one.
+
     Attributes:
         backend: ``auto``, ``serial``, ``thread``, or ``process``.
         workers: Worker count for the parallel backends.
@@ -180,6 +187,11 @@ class ExecutionConfig:
             ``0`` picks one shard per worker.
         max_shard_retries: Re-dispatch attempts per failed shard.
         on_shard_failure: ``"raise"`` or ``"degrade"`` (see above).
+        checkpoint_dir: Run-ledger directory; ``None`` disables
+            checkpointing.
+        resume: Resume the run recorded in ``checkpoint_dir`` (requires
+            ``checkpoint_dir``; refuses with a typed error when the
+            recorded manifest does not match this run's configuration).
     """
 
     backend: str = "auto"
@@ -187,6 +199,8 @@ class ExecutionConfig:
     shard_size: int = 0
     max_shard_retries: int = 2
     on_shard_failure: str = "raise"
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -205,6 +219,8 @@ class ExecutionConfig:
                 f"on_shard_failure must be 'raise' or 'degrade', "
                 f"got {self.on_shard_failure!r}"
             )
+        if self.resume and not self.checkpoint_dir:
+            raise ConfigError("resume=True requires checkpoint_dir")
 
     @property
     def resolved_backend(self) -> str:

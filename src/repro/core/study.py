@@ -76,6 +76,12 @@ class Study:
             degrade the run into a crawl report that records dropped
             shards; the result is identical for the same
             (scenario seed, plan) on every backend.
+        checkpoint_dir: Keep a durable run ledger (manifest + per-shard
+            write-ahead journal) in this directory, so a killed run can
+            be resumed.
+        resume: Resume the run recorded in ``checkpoint_dir``: replay
+            journaled shards, re-execute only the missing ones, and
+            produce a store byte-identical to an uninterrupted run.
     """
 
     def __init__(
@@ -90,6 +96,8 @@ class Study:
         max_shard_retries: Optional[int] = None,
         on_shard_failure: Optional[str] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        checkpoint_dir=None,
+        resume: bool = False,
     ) -> None:
         self.config = config or default_scenario()
         overrides = {}
@@ -103,6 +111,10 @@ class Study:
             overrides["max_shard_retries"] = max_shard_retries
         if on_shard_failure is not None:
             overrides["on_shard_failure"] = on_shard_failure
+        if checkpoint_dir is not None:
+            overrides["checkpoint_dir"] = str(checkpoint_dir)
+        if resume:
+            overrides["resume"] = True
         if overrides:
             self.config = dataclasses.replace(
                 self.config,

@@ -72,6 +72,16 @@ class CrawlReport:
     #: One ``"<shard identity>: <error>"`` line per dropped shard,
     #: ordered by shard index.
     shard_errors: Tuple[str, ...] = ()
+    #: Shards whose journaled payloads were replayed instead of
+    #: re-executed (checkpointed runs only).
+    shards_replayed: int = 0
+    #: Shards executed live by this run (on a resumed run: the missing
+    #: ones; on a fresh checkpointed run: all of them).
+    shards_reexecuted: int = 0
+    #: Journal entries that failed validation and were quarantined.
+    entries_quarantined: int = 0
+    #: Bytes of journal entries written by this run.
+    bytes_journaled: int = 0
 
     @property
     def average_weekly_collected(self) -> float:
@@ -106,6 +116,10 @@ class BlockStats:
     shard_retries: int = 0
     backoff_seconds: float = 0.0
     shard_errors: Tuple[str, ...] = ()
+    shards_replayed: int = 0
+    shards_reexecuted: int = 0
+    entries_quarantined: int = 0
+    bytes_journaled: int = 0
 
 
 def profile_from_manifest(
@@ -196,6 +210,12 @@ class Crawler:
             fault-free.  With a plan active the crawl always goes
             through the resilient dispatch path, so injected faults
             behave identically on every backend.
+        checkpoint_dir: Run-ledger directory for durable runs; defaults
+            to the execution config's ``checkpoint_dir`` (``None``
+            disables checkpointing).
+        resume: Resume the run recorded in ``checkpoint_dir``: replay
+            its journaled shard payloads and execute only the missing
+            shards.  Defaults to the execution config's ``resume``.
     """
 
     def __init__(
@@ -208,6 +228,8 @@ class Crawler:
         execution: Optional[ExecutionConfig] = None,
         incremental: Optional[IncrementalConfig] = None,
         fault_plan: Optional["FaultPlan"] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: Optional[bool] = None,
     ) -> None:
         if mode not in ("full", "manifest"):
             raise CrawlError(f"unknown crawl mode {mode!r}")
@@ -227,6 +249,14 @@ class Crawler:
         self.execution = execution or ecosystem.config.execution
         self.incremental = incremental or ecosystem.config.incremental
         self.fault_plan = fault_plan
+        self.checkpoint_dir = (
+            str(checkpoint_dir)
+            if checkpoint_dir is not None
+            else self.execution.checkpoint_dir
+        )
+        self.resume = resume if resume is not None else self.execution.resume
+        if self.resume and not self.checkpoint_dir:
+            raise CrawlError("resume=True requires a checkpoint_dir")
 
     # ------------------------------------------------------------------
     def run(self, weeks: Optional[Sequence[Week]] = None) -> CrawlReport:
@@ -237,6 +267,13 @@ class Crawler:
         folded back into :attr:`store`.  Results are bit-identical across
         backends and worker counts; a single-shard serial plan takes the
         direct in-process path with zero dispatch overhead.
+
+        With :attr:`checkpoint_dir` set the run is durable: completed
+        shard payloads are journaled write-ahead (see
+        :mod:`repro.runtime.ledger`), and with :attr:`resume` true the
+        journal is replayed — verified against the recorded manifest —
+        so only the missing shards execute.  A killed-and-resumed run
+        produces a byte-identical store to an uninterrupted one.
         """
         ecosystem = self.ecosystem
         calendar = ecosystem.calendar
@@ -271,14 +308,16 @@ class Crawler:
         backend_name = execution.resolved_backend
         if (
             self.fault_plan is None
+            and self.checkpoint_dir is None
             and backend_name == "serial"
             and len(shards) <= 1
         ):
             stats = self.crawl_block(target_weeks, domains)
         else:
-            # A fault plan always takes the dispatch path, even for a
-            # single serial shard: injection points and retry/drop
-            # semantics must be identical on every backend.
+            # A fault plan or a ledger always takes the dispatch path,
+            # even for a single serial shard: injection points, retry /
+            # drop semantics, and journaling must be identical on every
+            # backend.
             stats = self._run_sharded(
                 shards, target_weeks, domains, backend_name, execution.workers
             )
@@ -296,6 +335,10 @@ class Crawler:
             shard_retries=stats.shard_retries,
             backoff_seconds=stats.backoff_seconds,
             shard_errors=stats.shard_errors,
+            shards_replayed=stats.shards_replayed,
+            shards_reexecuted=stats.shards_reexecuted,
+            entries_quarantined=stats.entries_quarantined,
+            bytes_journaled=stats.bytes_journaled,
         )
 
     # ------------------------------------------------------------------
@@ -386,9 +429,15 @@ class Crawler:
         Failed shards are retried with bounded backoff and, once
         exhausted, dropped with accounting rather than aborting the run
         (see :mod:`repro.runtime.dispatch`).
+
+        With a ledger active, completed payloads are journaled inside
+        the workers (write-ahead), and a resumed run replays valid
+        journal entries instead of re-executing their shards.  The fold
+        always runs in shard-plan order over replayed and live payloads
+        alike, which is what keeps resumed stores byte-identical.
         """
         from ..runtime import ShardTask, dispatch_shards, get_backend
-        from .persistence import store_from_dict
+        from .persistence import _FORMAT_VERSION, store_from_dict
 
         # Workers rebuild their crawler from the config, so explicit
         # incremental overrides must travel inside it.
@@ -396,6 +445,29 @@ class Crawler:
         if self.incremental != config.incremental:
             config = dataclasses.replace(config, incremental=self.incremental)
 
+        ledger = scan = None
+        if self.checkpoint_dir is not None:
+            from ..runtime.ledger import RunLedger, RunManifest
+
+            ledger = RunLedger(self.checkpoint_dir)
+            manifest = RunManifest.build(
+                config=config,
+                mode=self.mode,
+                fault_plan=self.fault_plan,
+                week_ordinals=tuple(w.ordinal for w in target_weeks),
+                domain_names=tuple(d.name for d in domains),
+                shards=shards,
+                store_format=_FORMAT_VERSION,
+            )
+            scan = ledger.open(manifest, resume=self.resume)
+            if scan.resumed:
+                # The stored plan is authoritative: journal entries are
+                # per-shard of *that* plan, and fault draws are pure in
+                # its coverage keys — so a resume may change backend or
+                # workers, but never the shard shapes.
+                shards = scan.manifest.shards()
+
+        replayed = scan.payloads if scan is not None else {}
         tasks = []
         for shard in shards:
             shard_weeks = target_weeks[
@@ -416,20 +488,35 @@ class Crawler:
                     fault_plan=self.fault_plan,
                 )
             )
+        pending = [
+            task for task in tasks if task.shard_index not in replayed
+        ]
+
+        run_task = None
+        if ledger is not None:
+            from ..runtime.ledger import JournalingRunner
+
+            run_task = JournalingRunner(ledger.root)
 
         backend = get_backend(backend_name, workers)
         execution = self.execution
+        dispatch_kwargs = {} if run_task is None else {"run_task": run_task}
         outcome = dispatch_shards(
             backend,
-            tasks,
+            pending,
             max_retries=execution.max_shard_retries,
             on_failure=execution.on_shard_failure,
+            **dispatch_kwargs,
         )
 
+        payload_by_index = dict(replayed)
+        for task, payload in zip(pending, outcome.payloads):
+            if payload is not None:
+                payload_by_index[task.shard_index] = payload
+
         stats = BlockStats()
-        for payload in outcome.payloads:
-            if payload is None:
-                continue
+        for index in sorted(payload_by_index):
+            payload = payload_by_index[index]
             partial = store_from_dict(
                 payload["store"], self.store.calendar, self.store.matcher
             )
@@ -448,6 +535,15 @@ class Crawler:
             f"{failure.description}: {failure.error}"
             for failure in outcome.dropped
         )
+        if ledger is not None:
+            stats.shards_replayed = len(replayed)
+            stats.shards_reexecuted = len(pending)
+            stats.entries_quarantined = scan.quarantined
+            stats.bytes_journaled = ledger.entry_bytes(
+                task.shard_index
+                for task, payload in zip(pending, outcome.payloads)
+                if payload is not None
+            )
         return stats
 
     # ------------------------------------------------------------------

@@ -9,12 +9,24 @@ re-crawling.
 Only analysis-facing state is persisted (weekly aggregates, per-site
 trajectories, untrusted-host sets); the memoization caches rebuild on
 demand.
+
+Durability: :func:`save_store` is crash-safe — the document is written
+to a same-directory temp file, fsync'd, and atomically renamed into
+place, so a reader can never observe a torn write — and it embeds a
+sha256 checksum of the canonical store payload, which
+:func:`load_store` verifies before rebuilding anything.  Malformed or
+truncated documents surface as a typed
+:class:`~repro.errors.StoreError` carrying the path and (when
+identifiable) the failing field, never as a raw ``JSONDecodeError`` or
+``KeyError``.
 """
 
 from __future__ import annotations
 
 import collections
+import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -101,14 +113,36 @@ def store_to_dict(store: ObservationStore) -> dict:
     }
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Durable write: same-directory temp file, fsync, atomic rename."""
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
 def save_store(store: ObservationStore, path: Union[str, Path]) -> None:
-    """Write a store to ``path`` as canonical JSON.
+    """Write a store to ``path`` as canonical, checksummed JSON.
 
     Keys are sorted so that equal stores — e.g. a serial crawl and a
     merged sharded crawl, whose dict insertion orders differ — produce
-    byte-identical files.
+    byte-identical files.  The write is crash-safe (temp file + fsync +
+    atomic rename), and the document embeds a sha256 of the canonical
+    store payload that :func:`load_store` verifies.
     """
-    Path(path).write_text(json.dumps(store_to_dict(store), sort_keys=True))
+    payload = store_to_dict(store)
+    body = json.dumps(payload, sort_keys=True)
+    document = json.dumps(
+        {
+            "checksum": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+            "store": payload,
+        },
+        sort_keys=True,
+    )
+    _atomic_write_text(Path(path), document)
 
 
 def store_from_dict(
@@ -119,12 +153,36 @@ def store_from_dict(
     """Rebuild a store from :func:`store_to_dict` output.
 
     Raises:
-        StoreError: On an unknown format version or week mismatch.
+        StoreError: On an unknown format version, a week mismatch, or a
+            missing/malformed document field (the typed wrapper names
+            the failing field instead of leaking a raw ``KeyError``).
     """
+    if not isinstance(payload, dict):
+        raise StoreError(
+            f"store payload must be a JSON object, got {type(payload).__name__}"
+        )
     if payload.get("format") != _FORMAT_VERSION:
         raise StoreError(f"unsupported store format: {payload.get('format')!r}")
     if matcher is None:
         matcher = VersionMatcher(default_database())
+    try:
+        return _store_from_dict_unchecked(payload, calendar, matcher)
+    except KeyError as exc:
+        raise StoreError(
+            "store document is missing a required field",
+            field=str(exc.args[0]) if exc.args else None,
+        ) from exc
+    except (TypeError, ValueError, IndexError, AttributeError) as exc:
+        raise StoreError(
+            f"store document is malformed ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _store_from_dict_unchecked(
+    payload: dict,
+    calendar: StudyCalendar,
+    matcher: VersionMatcher,
+) -> ObservationStore:
     store = ObservationStore(calendar, matcher)
     store.total_observations = payload["total_observations"]
     store.observed_domains = set(payload["observed_domains"])
@@ -189,6 +247,53 @@ def load_store(
     calendar: StudyCalendar,
     matcher: VersionMatcher = None,
 ) -> ObservationStore:
-    """Read a store previously written by :func:`save_store`."""
-    payload = json.loads(Path(path).read_text())
-    return store_from_dict(payload, calendar, matcher)
+    """Read a store previously written by :func:`save_store`.
+
+    Verifies the embedded payload checksum before rebuilding the store.
+    Pre-checksum documents (a bare :func:`store_to_dict` payload) still
+    load, just without integrity verification.
+
+    Raises:
+        StoreError: The file is unreadable, truncated, not valid JSON,
+            fails its checksum, or is missing document fields; the error
+            carries the path and, when identifiable, the failing field.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise StoreError(
+            f"cannot read store file ({exc.strerror or exc})", path=path
+        ) from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StoreError(
+            f"store document is not valid JSON (truncated or corrupt: "
+            f"{exc.msg} at position {exc.pos})",
+            path=path,
+        ) from exc
+    payload = document
+    if isinstance(document, dict) and "checksum" in document:
+        if "store" not in document:
+            raise StoreError(
+                "checksummed store document has no 'store' payload",
+                path=path,
+                field="store",
+            )
+        payload = document["store"]
+        body = json.dumps(payload, sort_keys=True)
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if digest != document["checksum"]:
+            raise StoreError(
+                "store payload fails its sha256 checksum — the file is "
+                "corrupt or was modified after saving",
+                path=path,
+                field="checksum",
+            )
+    try:
+        return store_from_dict(payload, calendar, matcher)
+    except StoreError as exc:
+        if exc.path is None:
+            raise StoreError(exc.message, path=path, field=exc.field) from exc
+        raise

@@ -88,8 +88,57 @@ class InjectedShardTimeout(InjectedFault):
     """A planned shard timeout fired at a shard boundary."""
 
 
+class CheckpointError(CrawlError):
+    """A checkpoint directory could not be used for a durable run."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A resumed run's manifest does not match the live configuration.
+
+    Resuming replays journaled shard payloads verbatim, so the run being
+    resumed must be the *same* run: same scenario config, mode, fault
+    plan, target weeks, and retained domains.  Any divergence is refused
+    rather than papered over — a silent mismatch would merge payloads
+    from two different datasets.
+
+    Attributes:
+        path: The checkpoint directory's manifest path.
+        mismatches: ``(field, recorded, live)`` triples, one per
+            diverging manifest field.
+    """
+
+    def __init__(self, path: str, mismatches) -> None:
+        self.path = str(path)
+        self.mismatches = tuple(mismatches)
+        detail = "; ".join(
+            f"{field}: run recorded {recorded!r}, live run has {live!r}"
+            for field, recorded, live in self.mismatches
+        )
+        super().__init__(
+            f"checkpoint manifest {self.path} does not match this run "
+            f"({detail}); resume with the original configuration or "
+            f"start a fresh checkpoint directory"
+        )
+
+
 class StoreError(ReproError):
-    """The snapshot store rejected an operation."""
+    """The snapshot store rejected an operation.
+
+    Attributes:
+        path: File the error concerns, when the operation touched disk.
+        field: Offending document field, when one could be identified.
+    """
+
+    def __init__(self, message: str, path=None, field=None) -> None:
+        self.message = message
+        self.path = str(path) if path is not None else None
+        self.field = field
+        suffix = ""
+        if field is not None:
+            suffix += f" (field {field!r})"
+        if path is not None:
+            suffix += f" [{self.path}]"
+        super().__init__(message + suffix)
 
 
 class FingerprintError(ReproError):

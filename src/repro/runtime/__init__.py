@@ -13,7 +13,12 @@ Robustness lives in two layers added on top:
   deterministically per (seed, plan);
 * :mod:`.dispatch` — shard failures are isolated, retried with bounded
   exponential backoff on a simulated clock, and finally *dropped with
-  accounting* instead of aborting the run.
+  accounting* instead of aborting the run;
+* :mod:`.ledger` — whole-process death is survivable: a
+  :class:`RunLedger` keeps a versioned run manifest plus a per-shard
+  write-ahead journal (checksummed, fsync'd, atomically renamed), so a
+  killed run resumes by replaying completed shards and re-executing only
+  the missing ones, byte-identically to an uninterrupted run.
 
 Determinism guarantee: for a given scenario seed, every backend and
 every worker count produce bit-identical aggregates — parallelism is an
@@ -40,8 +45,20 @@ from .dispatch import (
     dispatch_shards,
 )
 from .faults import FaultPlan
+from .ledger import (
+    JournalingRunner,
+    LedgerScan,
+    RunLedger,
+    RunManifest,
+    atomic_write_bytes,
+)
 from .sharding import Shard, plan_shards
-from .worker import ShardTask, execute_shard, execute_shard_safely
+from .worker import (
+    ShardTask,
+    execute_shard,
+    execute_shard_safely,
+    shard_coverage_key,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -54,7 +71,13 @@ __all__ = [
     "ShardTask",
     "execute_shard",
     "execute_shard_safely",
+    "shard_coverage_key",
     "FaultPlan",
+    "RunLedger",
+    "RunManifest",
+    "LedgerScan",
+    "JournalingRunner",
+    "atomic_write_bytes",
     "SimulatedClock",
     "WallClock",
     "DispatchResult",

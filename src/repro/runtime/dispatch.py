@@ -132,6 +132,10 @@ def dispatch_shards(
     """
     clock = clock if clock is not None else SimulatedClock()
     payloads: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+    # Tasks may be any subset of a larger shard plan (e.g. the shards a
+    # resumed run still has to execute), so shard_index is mapped back
+    # to the task's position rather than used as a direct slot.
+    slot = {task.shard_index: position for position, task in enumerate(tasks)}
     dropped: List[ShardFailure] = []
     retries = 0
 
@@ -141,7 +145,7 @@ def dispatch_shards(
         requeued: List[ShardTask] = []
         for task, payload in zip(pending, results):
             if payload.get("ok"):
-                payloads[task.shard_index] = payload
+                payloads[slot[task.shard_index]] = payload
                 continue
             if task.attempt < max_retries:
                 retries += 1

@@ -34,6 +34,24 @@ from ..webgen import WebEcosystem
 from .faults import CRASH, TIMEOUT, FaultPlan
 
 
+def shard_coverage_key(
+    week_ordinals: Tuple[int, ...], domain_names: Tuple[str, ...]
+) -> str:
+    """Backend-independent coordinate for a shard's grid coverage.
+
+    Depends only on what the shard *covers* — never on attempt, backend,
+    or dispatch order — so fault draws and journal-entry validation see
+    the same key wherever and whenever the shard runs.
+    """
+    if not week_ordinals or not domain_names:
+        return "empty"
+    return (
+        f"weeks:{week_ordinals[0]}-{week_ordinals[-1]}"
+        f"|domains:{domain_names[0]}..{domain_names[-1]}"
+        f"|n={len(domain_names)}"
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class ShardTask:
     """One shard, described portably enough to cross a process boundary.
@@ -63,19 +81,12 @@ class ShardTask:
 
     # ------------------------------------------------------------------
     def shard_key(self) -> str:
-        """Backend-independent coordinate for fault draws.
+        """Backend-independent coordinate for fault draws and journaling.
 
-        Depends only on what the shard *covers* — never on attempt,
-        backend, or dispatch order — so a plan's verdict for this shard
+        See :func:`shard_coverage_key`: a plan's verdict for this shard
         is identical wherever and whenever it runs.
         """
-        if not self.week_ordinals or not self.domain_names:
-            return "empty"
-        return (
-            f"weeks:{self.week_ordinals[0]}-{self.week_ordinals[-1]}"
-            f"|domains:{self.domain_names[0]}..{self.domain_names[-1]}"
-            f"|n={len(self.domain_names)}"
-        )
+        return shard_coverage_key(self.week_ordinals, self.domain_names)
 
     def describe(self) -> str:
         """Human-readable shard identity for logs and wrapped errors."""

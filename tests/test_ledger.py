@@ -1,0 +1,510 @@
+"""Durable checkpointed crawls: run ledger, crash recovery, integrity.
+
+The contract under test (extending the PR-1/PR-3 determinism
+guarantees): a run killed at any point — including by a hard process
+abort that skips every cleanup path — and resumed from its checkpoint
+directory produces a persisted store *byte-identical* to the same run
+executed uninterrupted, on every backend; and corrupt journal entries
+are quarantined and re-executed, never silently trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import zlib
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import FaultPlan, ScenarioConfig
+from repro.config import ExecutionConfig
+from repro.crawler import Crawler
+from repro.crawler.persistence import save_store, store_to_dict
+from repro.errors import (
+    CheckpointError,
+    CheckpointMismatchError,
+    ConfigError,
+    CrawlError,
+)
+from repro.runtime.ledger import (
+    LEDGER_FORMAT,
+    RunLedger,
+    RunManifest,
+    scenario_digest,
+)
+from repro.webgen import WebEcosystem
+
+_CONFIG = ScenarioConfig(population=40, seed=11)
+_WEEKS = _CONFIG.calendar.weeks[:4]
+_SHARD_SIZE = 30  # 40 domains x 4 weeks = 160 cells -> 6 shards
+
+
+def _run(
+    checkpoint=None,
+    resume=False,
+    backend="thread",
+    workers=2,
+    plan=None,
+    config=_CONFIG,
+    weeks=_WEEKS,
+):
+    crawler = Crawler(
+        WebEcosystem(config),
+        mode="manifest",
+        apply_filter=False,
+        execution=ExecutionConfig(
+            backend=backend, workers=workers, shard_size=_SHARD_SIZE
+        ),
+        fault_plan=plan,
+        checkpoint_dir=str(checkpoint) if checkpoint else None,
+        resume=resume,
+    )
+    report = crawler.run(weeks=weeks)
+    return report, store_to_dict(crawler.store)
+
+
+def _journal_entries(root: Path):
+    return sorted((Path(root) / "journal").glob("shard-*.wal"))
+
+
+def _read_entry(entry_file: Path):
+    """Split one journal entry into (header dict, compressed body)."""
+    head, _, body = entry_file.read_bytes().partition(b"\n")
+    return json.loads(head.decode("utf-8")), body
+
+
+def _write_entry(entry_file: Path, header: dict, body: bytes) -> None:
+    entry_file.write_bytes(
+        json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + body
+    )
+
+
+class TestFreshCheckpointedRun:
+    def test_journal_and_manifest_written(self, tmp_path):
+        _, baseline = _run()
+        report, store = _run(checkpoint=tmp_path / "run")
+        assert store == baseline  # ledger never changes a byte
+        assert (tmp_path / "run" / "manifest.json").exists()
+        entries = _journal_entries(tmp_path / "run")
+        assert len(entries) == report.shards_reexecuted > 1
+        assert report.shards_replayed == 0
+        assert report.entries_quarantined == 0
+        assert report.bytes_journaled == sum(
+            entry.stat().st_size for entry in entries
+        )
+
+    def test_entry_checksums_verify(self, tmp_path):
+        _run(checkpoint=tmp_path / "run")
+        import hashlib
+
+        for entry_file in _journal_entries(tmp_path / "run"):
+            header, body = _read_entry(entry_file)
+            assert header["format"] == LEDGER_FORMAT
+            # The checksum covers the compressed bytes exactly as they
+            # sit on disk.
+            assert hashlib.sha256(body).hexdigest() == header["sha256"]
+            payload = json.loads(zlib.decompress(body).decode("utf-8"))
+            assert payload["ok"] and "store" in payload
+
+    def test_existing_run_dir_requires_resume(self, tmp_path):
+        _run(checkpoint=tmp_path / "run")
+        with pytest.raises(CheckpointError, match="resume"):
+            _run(checkpoint=tmp_path / "run")
+
+    def test_single_shard_serial_run_still_journals(self, tmp_path):
+        config = ScenarioConfig(population=10, seed=3)
+        weeks = config.calendar.weeks[:2]
+        crawler = Crawler(
+            WebEcosystem(config),
+            mode="manifest",
+            apply_filter=False,
+            execution=ExecutionConfig(backend="serial", workers=1),
+            checkpoint_dir=str(tmp_path / "run"),
+        )
+        report = crawler.run(weeks=weeks)
+        assert report.shards_reexecuted == 1
+        assert len(_journal_entries(tmp_path / "run")) == 1
+
+
+class TestResume:
+    def test_full_resume_replays_everything(self, tmp_path):
+        report1, baseline = _run(checkpoint=tmp_path / "run")
+        report2, store = _run(checkpoint=tmp_path / "run", resume=True)
+        assert store == baseline
+        assert report2.shards_replayed == report1.shards_reexecuted
+        assert report2.shards_reexecuted == 0
+        # Replayed counters reproduce the original run's totals.
+        assert report2.pages_collected == report1.pages_collected
+        assert report2.fetch_failures == report1.fetch_failures
+
+    def test_partial_resume_executes_only_missing_shards(self, tmp_path):
+        _, baseline = _run(checkpoint=tmp_path / "run")
+        entries = _journal_entries(tmp_path / "run")
+        removed = entries[::2]
+        for entry in removed:
+            entry.unlink()
+        report, store = _run(checkpoint=tmp_path / "run", resume=True)
+        assert store == baseline
+        assert report.shards_reexecuted == len(removed)
+        assert report.shards_replayed == len(entries) - len(removed)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_resume_is_backend_independent(self, tmp_path, backend, monkeypatch):
+        _, baseline = _run(checkpoint=tmp_path / "ref")
+        work = tmp_path / f"work-{backend}"
+        shutil.copytree(tmp_path / "ref", work)
+        for entry in _journal_entries(work)[:3]:
+            entry.unlink()
+        workers = 2 if backend != "serial" else 1
+        report, store = _run(
+            checkpoint=work, resume=True, backend=backend, workers=workers
+        )
+        assert store == baseline
+        assert report.shards_reexecuted == 3
+
+    def test_resume_without_manifest_starts_fresh(self, tmp_path):
+        _, baseline = _run(checkpoint=tmp_path / "run", resume=True)
+        report, store = _run(checkpoint=tmp_path / "run", resume=True)
+        assert store == baseline
+        assert report.shards_reexecuted == 0
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises((CrawlError, ConfigError)):
+            Crawler(
+                WebEcosystem(ScenarioConfig(population=10, seed=3)),
+                mode="manifest",
+                resume=True,
+            )
+
+    def test_execution_config_resume_requires_dir(self):
+        with pytest.raises(ConfigError):
+            ExecutionConfig(resume=True)
+
+
+class TestCorruptionPaths:
+    """Damaged journals are quarantined and re-executed, never trusted."""
+
+    def _damage_and_resume(self, tmp_path, damage):
+        _, baseline = _run(checkpoint=tmp_path / "run")
+        entries = _journal_entries(tmp_path / "run")
+        damage(entries[1])
+        report, store = _run(checkpoint=tmp_path / "run", resume=True)
+        assert store == baseline
+        assert report.entries_quarantined == 1
+        assert report.shards_reexecuted == 1
+        assert report.shards_replayed == len(entries) - 1
+        quarantined = list((tmp_path / "run" / "quarantine").iterdir())
+        assert [f.name for f in quarantined] == [entries[1].name]
+        # The re-executed shard re-journaled a valid replacement.
+        assert len(_journal_entries(tmp_path / "run")) == len(entries)
+
+    def test_truncated_entry(self, tmp_path):
+        def truncate(entry_file):
+            raw = entry_file.read_bytes()
+            entry_file.write_bytes(raw[: len(raw) // 2])
+
+        self._damage_and_resume(tmp_path, truncate)
+
+    def test_truncated_inside_header(self, tmp_path):
+        def behead(entry_file):
+            entry_file.write_bytes(entry_file.read_bytes()[:10])
+
+        self._damage_and_resume(tmp_path, behead)
+
+    def test_bit_flipped_payload_byte(self, tmp_path):
+        def bitflip(entry_file):
+            header, body = _read_entry(entry_file)
+            flipped = bytes([body[0] ^ 0x01]) + body[1:]
+            _write_entry(entry_file, header, flipped)
+
+        self._damage_and_resume(tmp_path, bitflip)
+
+    def test_bit_flipped_checksum(self, tmp_path):
+        def bitflip(entry_file):
+            header, body = _read_entry(entry_file)
+            digest = header["sha256"]
+            header["sha256"] = ("0" if digest[0] != "0" else "1") + digest[1:]
+            _write_entry(entry_file, header, body)
+
+        self._damage_and_resume(tmp_path, bitflip)
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        def tamper(entry_file):
+            header, body = _read_entry(entry_file)
+            payload = json.loads(zlib.decompress(body).decode("utf-8"))
+            payload["pages"] = payload["pages"] + 1
+            recompressed = zlib.compress(
+                json.dumps(payload, sort_keys=True).encode("utf-8"), 1
+            )
+            # Old checksum, new payload bytes: must be rejected.
+            _write_entry(entry_file, header, recompressed)
+
+        self._damage_and_resume(tmp_path, tamper)
+
+    def test_wrong_coverage_key(self, tmp_path):
+        def rekey(entry_file):
+            header, body = _read_entry(entry_file)
+            header["shard_key"] = "weeks:0-0|domains:x..y|n=1"
+            _write_entry(entry_file, header, body)
+
+        self._damage_and_resume(tmp_path, rekey)
+
+    def test_manifest_config_mismatch(self, tmp_path):
+        _run(checkpoint=tmp_path / "run")
+        other = ScenarioConfig(population=40, seed=12)
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            _run(
+                checkpoint=tmp_path / "run",
+                resume=True,
+                config=other,
+                weeks=other.calendar.weeks[:4],
+            )
+        fields = {field for field, _, _ in excinfo.value.mismatches}
+        assert "scenario_digest" in fields and "seed" in fields
+
+    def test_manifest_fault_plan_mismatch(self, tmp_path):
+        _run(checkpoint=tmp_path / "run")
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            _run(
+                checkpoint=tmp_path / "run",
+                resume=True,
+                plan=FaultPlan(seed=1, crash_rate=0.5),
+            )
+        assert any(
+            field == "fault_digest" for field, _, _ in excinfo.value.mismatches
+        )
+
+    def test_manifest_mode_mismatch(self, tmp_path):
+        _run(checkpoint=tmp_path / "run")
+        crawler = Crawler(
+            WebEcosystem(_CONFIG),
+            mode="full",
+            apply_filter=False,
+            execution=ExecutionConfig(
+                backend="thread", workers=2, shard_size=_SHARD_SIZE
+            ),
+            checkpoint_dir=str(tmp_path / "run"),
+            resume=True,
+        )
+        with pytest.raises(CheckpointMismatchError):
+            crawler.run(weeks=_WEEKS)
+
+    def test_corrupt_manifest_is_a_typed_error(self, tmp_path):
+        _run(checkpoint=tmp_path / "run")
+        (tmp_path / "run" / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            _run(checkpoint=tmp_path / "run", resume=True)
+
+
+class TestManifest:
+    def test_scenario_digest_ignores_execution_shape(self):
+        base = ScenarioConfig(population=40, seed=11)
+        import dataclasses
+
+        reshaped = dataclasses.replace(
+            base,
+            execution=ExecutionConfig(backend="process", workers=8),
+        )
+        assert scenario_digest(base) == scenario_digest(reshaped)
+        assert scenario_digest(base) != scenario_digest(
+            ScenarioConfig(population=40, seed=12)
+        )
+
+    def test_roundtrip(self):
+        from repro.runtime import plan_shards
+
+        shards = plan_shards(4, 40, workers=2, shard_size=_SHARD_SIZE)
+        manifest = RunManifest.build(
+            config=_CONFIG,
+            mode="manifest",
+            fault_plan=None,
+            week_ordinals=tuple(w.ordinal for w in _WEEKS),
+            domain_names=tuple(f"d{i}.example" for i in range(40)),
+            shards=shards,
+            store_format=1,
+        )
+        restored = RunManifest.from_dict(
+            json.loads(json.dumps(manifest.to_dict()))
+        )
+        assert restored == manifest
+        assert not restored.mismatches(manifest)
+        assert [s.index for s in restored.shards()] == [s.index for s in shards]
+
+
+_KILL_SCRIPT = """
+import os, sys
+
+limit = int(sys.argv[1])
+root = sys.argv[2]
+
+import repro.runtime.ledger as ledger_mod
+
+journaled = 0
+original = ledger_mod.RunLedger.journal
+
+def aborting_journal(self, shard_index, shard_key, payload):
+    global journaled
+    written = original(self, shard_index, shard_key, payload)
+    journaled += 1
+    if journaled >= limit:
+        os._exit(137)  # hard abort: no cleanup, no atexit, no flush
+    return written
+
+ledger_mod.RunLedger.journal = aborting_journal
+
+from repro import FaultPlan, ScenarioConfig
+from repro.config import ExecutionConfig
+from repro.crawler import Crawler
+from repro.webgen import WebEcosystem
+
+config = ScenarioConfig(population=40, seed=11)
+crawler = Crawler(
+    WebEcosystem(config),
+    mode="manifest",
+    apply_filter=False,
+    execution=ExecutionConfig(backend="thread", workers=2, shard_size=30),
+    fault_plan=FaultPlan(seed=3, crash_rate=0.25),
+    checkpoint_dir=root,
+)
+crawler.run(weeks=config.calendar.weeks[:4])
+os._exit(0)  # only reached if the abort never fired
+"""
+
+
+class TestKillMidRun:
+    """FaultPlan chaos + a hard process abort, then an exact resume."""
+
+    @pytest.fixture(scope="class")
+    def killed_run(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("killed")
+        root = tmp / "run"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT, "2", str(root)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 137, proc.stderr
+        return root
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        plan = FaultPlan(seed=3, crash_rate=0.25)
+        _, store = _run(plan=plan)
+        return plan, store
+
+    def test_abort_left_a_partial_journal(self, killed_run):
+        entries = _journal_entries(killed_run)
+        # The abort fired during the 2nd journal write (thread races can
+        # land an extra completed entry, never fewer than 2 or the lot).
+        assert 2 <= len(entries) < 6
+        assert (killed_run / "manifest.json").exists()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_resume_after_kill_is_byte_identical(
+        self, killed_run, reference, tmp_path, backend
+    ):
+        plan, baseline = reference
+        work = tmp_path / f"resume-{backend}"
+        shutil.copytree(killed_run, work)
+        replayable = len(_journal_entries(work))
+        report, store = _run(
+            checkpoint=work, resume=True, backend=backend, plan=plan
+        )
+        assert store == baseline
+        assert report.shards_replayed == replayable
+        assert report.shards_replayed + report.shards_reexecuted == 6
+        # And the *persisted* artifact matches byte for byte.
+        uninterrupted = tmp_path / f"uninterrupted-{backend}.json"
+        resumed = tmp_path / f"resumed-{backend}.json"
+        _store_bytes(baseline, uninterrupted)
+        _store_bytes(store, resumed)
+        assert uninterrupted.read_bytes() == resumed.read_bytes()
+
+
+def _store_bytes(store_dict, path):
+    """save_store for an already-serialized store dict."""
+    from repro.crawler.persistence import store_from_dict
+
+    store = store_from_dict(store_dict, _CONFIG.calendar)
+    save_store(store, path)
+
+
+class TestCliCheckpointFlags:
+    def test_run_resume_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = tmp_path / "ledger"
+        ref = tmp_path / "ref.json"
+        resumed = tmp_path / "resumed.json"
+        args = [
+            "run",
+            "--population",
+            "60",
+            "--seed",
+            "5",
+            "--weeks",
+            "4",
+            "--workers",
+            "2",
+            "--backend",
+            "thread",
+        ]
+        assert main(args + ["--save-store", str(ref)]) == 0
+        capsys.readouterr()
+        code = main(
+            args + ["--checkpoint-dir", str(root), "--save-store", str(resumed)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ledger [" in err and "bytes journaled" in err
+        assert ref.read_bytes() == resumed.read_bytes()
+        # Second invocation resumes: replays every shard, executes none.
+        code = main(
+            args
+            + [
+                "--checkpoint-dir",
+                str(root),
+                "--resume",
+                "--save-store",
+                str(resumed),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "0 executed" in err
+        assert ref.read_bytes() == resumed.read_bytes()
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_reusing_dir_without_resume_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = [
+            "run",
+            "--population",
+            "40",
+            "--seed",
+            "5",
+            "--weeks",
+            "2",
+            "--checkpoint-dir",
+            str(tmp_path / "ledger"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        assert "resume" in capsys.readouterr().err
