@@ -24,6 +24,7 @@ from .config import (
     ExecutionConfig,
     FlashConfig,
     IncrementalConfig,
+    ObservabilityConfig,
     PlatformConfig,
     ScenarioConfig,
     SecurityHygieneConfig,
@@ -33,6 +34,14 @@ from .config import (
 from .advisor import SiteScanner
 from .core import Study, StudyResults
 from .errors import ReproError
+from .obs import Instruments
+from .options import (
+    DurabilityOptions,
+    ExecutionOptions,
+    ObservabilityOptions,
+    ResilienceOptions,
+    RunOptions,
+)
 from .runtime.faults import FaultPlan
 from .timeline import StudyCalendar, Week, default_calendar
 from .vulndb import MatchMode, default_database
@@ -46,6 +55,13 @@ __all__ = [
     "ScenarioConfig",
     "ExecutionConfig",
     "IncrementalConfig",
+    "ObservabilityConfig",
+    "RunOptions",
+    "ExecutionOptions",
+    "ResilienceOptions",
+    "DurabilityOptions",
+    "ObservabilityOptions",
+    "Instruments",
     "FaultPlan",
     "BehaviorMix",
     "PlatformConfig",

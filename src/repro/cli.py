@@ -3,14 +3,16 @@
 Three subcommands::
 
     repro run [--population N] [--seed S] [--save-store FILE] [--full]
-              [--weeks N] [--workers N] [--backend B] [--shard-size C]
-              [--max-shard-retries N] [--fault-plan SPEC]
-              [--checkpoint-dir DIR] [--resume]
+              [--weeks N] [<run options>]
         Build a scenario, crawl the study weeks (optionally sharded
         across workers, optionally under an injected fault plan,
         optionally journaled to a durable checkpoint directory), print
-        the study report.  ``--resume`` replays a killed run's journal
-        and executes only the missing shards.
+        the study report.  The run-option flags (``--workers``,
+        ``--backend``, ``--fault-plan``, ``--checkpoint-dir``,
+        ``--metrics-out``, ...) are *derived* from the
+        :mod:`repro.options` dataclasses — see ``repro run --help`` for
+        the grouped listing; the CLI cannot drift from the ``Study``
+        API because both read the same declaration.
 
     repro scan FILE [--url URL]
         Fingerprint a local HTML file and print prioritized findings
@@ -30,52 +32,35 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .options import add_option_arguments
+
 
 def _cmd_run(args: argparse.Namespace) -> int:
     import time
 
     from . import ScenarioConfig, Study
+    from .errors import ConfigError
+    from .options import options_from_namespace
     from .reporting import StudyReport
 
-    if args.workers is not None and args.workers < 1:
-        print("error: --workers must be >= 1", file=sys.stderr)
-        return 2
-    if args.shard_size is not None and args.shard_size < 0:
-        print("error: --shard-size must be >= 0 (0 = auto)", file=sys.stderr)
-        return 2
     if args.weeks is not None and args.weeks < 1:
         print("error: --weeks must be >= 1", file=sys.stderr)
         return 2
-    if args.max_shard_retries is not None and args.max_shard_retries < 0:
-        print("error: --max-shard-retries must be >= 0", file=sys.stderr)
+    try:
+        # One conversion validates every group (backend names, retry
+        # budgets, fault-plan specs, resume-without-checkpoint...) with
+        # the same ConfigError messages the Study API raises.
+        options = options_from_namespace(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.resume and not args.checkpoint_dir:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
-        return 2
-
-    fault_plan = None
-    if args.fault_plan:
-        from .errors import ConfigError
-        from .runtime import FaultPlan
-
-        try:
-            fault_plan = FaultPlan.from_spec(args.fault_plan)
-        except ConfigError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+    fault_plan = options.resilience.fault_plan
 
     config = ScenarioConfig(population=args.population, seed=args.seed)
     study = Study(
         config,
         mode="full" if args.full else "manifest",
-        workers=args.workers,
-        backend=args.backend,
-        shard_size=args.shard_size,
-        profile_cache=False if args.no_profile_cache else None,
-        max_shard_retries=args.max_shard_retries,
-        fault_plan=fault_plan,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
+        options=options,
     )
     weeks = None
     if args.weeks is not None:
@@ -106,6 +91,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{cache_note})",
         file=sys.stderr,
     )
+    metrics = report.metrics
+    if metrics.enabled:
+        # Phase breakdown: plan/dispatch are the coordinator's phases;
+        # fetch/fingerprint/journal accumulate inside the workers (they
+        # overlap the dispatch wall time, not add to it); fold is the
+        # coordinator-side merge of shard payloads.
+        phases = ", ".join(
+            f"{name} {metrics.wall_seconds(name):.2f}s"
+            for name in (
+                "plan",
+                "dispatch",
+                "fetch",
+                "fingerprint",
+                "journal",
+                "fold",
+            )
+        )
+        print(f"phases: {phases}", file=sys.stderr)
     if args.checkpoint_dir:
         print(
             f"ledger [{args.checkpoint_dir}]: "
@@ -129,6 +132,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for line in report.shard_errors:
             print(f"  dropped {line}", file=sys.stderr)
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     print(StudyReport(study).render())
     if args.save_store:
         from .crawler.persistence import save_store
@@ -207,64 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="crawl only the first N calendar weeks (default: all 201)",
     )
-    run.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="shard the crawl across N workers (results are identical "
-        "to a serial run)",
-    )
-    run.add_argument(
-        "--backend",
-        choices=["auto", "serial", "thread", "process"],
-        default=None,
-        help="execution backend for sharded crawls (auto = process "
-        "when --workers > 1)",
-    )
-    run.add_argument(
-        "--shard-size",
-        type=int,
-        default=None,
-        metavar="CELLS",
-        help="max weeks*domains cells per shard (0 = one shard per worker)",
-    )
-    run.add_argument(
-        "--no-profile-cache",
-        action="store_true",
-        help="disable the incremental profile cache (results are "
-        "identical; only slower)",
-    )
-    run.add_argument(
-        "--max-shard-retries",
-        type=int,
-        default=None,
-        metavar="N",
-        help="re-dispatch attempts per failed shard before it is "
-        "dropped (default: 2; backoff is simulated, never slept)",
-    )
-    run.add_argument(
-        "--fault-plan",
-        default=None,
-        metavar="SPEC",
-        help="inject deterministic chaos, e.g. "
-        "'seed=7,crash=0.3,timeout=0.1,weeks=0-5,surge5xx=0.5'; "
-        "the same (seed, plan) reproduces the identical degraded run",
-    )
-    run.add_argument(
-        "--checkpoint-dir",
-        default=None,
-        metavar="DIR",
-        help="keep a durable run ledger (manifest + per-shard "
-        "write-ahead journal) in DIR so a killed run can be resumed",
-    )
-    run.add_argument(
-        "--resume",
-        action="store_true",
-        help="resume the run recorded in --checkpoint-dir: replay "
-        "journaled shards and execute only the missing ones "
-        "(byte-identical to an uninterrupted run)",
-    )
+    # Every run-option flag (--workers, --backend, --fault-plan,
+    # --checkpoint-dir, --metrics-out, ...) is derived from the
+    # repro.options dataclasses' field metadata.
+    add_option_arguments(run)
     run.set_defaults(func=_cmd_run)
 
     scan = sub.add_parser("scan", help="scan one HTML file for findings")

@@ -249,6 +249,26 @@ class IncrementalConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class ObservabilityConfig:
+    """Observability knobs — like execution, never changes the data.
+
+    The crawl always keeps the core counters the report is built from
+    (pages, failures, cache, dispatch accounting); ``metrics`` gates the
+    *detailed* instrumentation layered on top — fixed-bucket histograms,
+    per-shard span events, fetch/fingerprint counters, and phase wall
+    timers (see :mod:`repro.obs`).  Detailed metrics are deterministic:
+    the canonical document is byte-identical across backends, worker
+    counts, and kill/resume, so the only reason to disable them is
+    measuring their own overhead (:mod:`benchmarks.bench_obs`).
+
+    Attributes:
+        metrics: Collect detailed instrumentation (default on).
+    """
+
+    metrics: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
 class ScenarioConfig:
     """Everything that determines one synthetic four-year dataset."""
 
@@ -269,6 +289,10 @@ class ScenarioConfig:
     #: Incremental-crawl knobs only — never affects the produced dataset.
     incremental: IncrementalConfig = dataclasses.field(
         default_factory=IncrementalConfig
+    )
+    #: Observability knobs only — never affects the produced dataset.
+    observability: ObservabilityConfig = dataclasses.field(
+        default_factory=ObservabilityConfig
     )
 
     def __post_init__(self) -> None:

@@ -17,7 +17,7 @@ virtual network — the two are observation-equivalent (tested).
 
 from __future__ import annotations
 
-import dataclasses
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import (
@@ -34,8 +34,9 @@ from ..analysis import (
 )
 from ..config import ScenarioConfig, default_scenario
 from ..crawler import Crawler, CrawlReport, ObservationStore
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ConfigError
 from ..fingerprint import FingerprintEngine
+from ..options import RunOptions
 from ..poclab import ValidationLab
 from ..runtime.faults import FaultPlan
 from ..vulndb import (
@@ -56,81 +57,77 @@ class Study:
         database: Vulnerability database override (defaults to the
             paper's Table 2/4 + Flash data).
         mode: ``"manifest"`` (fast) or ``"full"`` (HTTP + fingerprint).
-        workers: Override the config's execution worker count.  With
-            more than one worker the crawl is sharded and dispatched
-            through the runtime layer; results are bit-identical to a
-            serial run.
-        backend: Override the execution backend (``auto``, ``serial``,
-            ``thread``, ``process``).
-        shard_size: Override the maximum ``weeks × domains`` cells per
-            shard (``0`` = one shard per worker).
-        profile_cache: Override the config's incremental profile cache
-            (``False`` disables it; results are bit-identical either
-            way).
-        max_shard_retries: Override the per-shard retry budget used by
-            the resilient dispatch path.
-        on_shard_failure: Override the post-retry failure policy
-            (``"raise"`` or ``"degrade"``).
-        fault_plan: Deterministic chaos schedule
-            (:class:`~repro.runtime.FaultPlan`).  Injected faults
-            degrade the run into a crawl report that records dropped
-            shards; the result is identical for the same
-            (scenario seed, plan) on every backend.
-        checkpoint_dir: Keep a durable run ledger (manifest + per-shard
-            write-ahead journal) in this directory, so a killed run can
-            be resumed.
-        resume: Resume the run recorded in ``checkpoint_dir``: replay
-            journaled shards, re-execute only the missing ones, and
-            produce a store byte-identical to an uninterrupted run.
+        options: Typed run options (:class:`~repro.RunOptions`),
+            grouped by concern — execution (workers, backend, shard
+            size, profile cache), resilience (fault plan, retries,
+            failure policy), durability (checkpoint dir, resume), and
+            observability (detailed metrics, ``metrics_out``).  Every
+            field defaults to "inherit from the scenario config".
+        **legacy: The pre-options flat keyword arguments (``workers``,
+            ``backend``, ``shard_size``, ``profile_cache``,
+            ``max_shard_retries``, ``on_shard_failure``, ``fault_plan``,
+            ``checkpoint_dir``, ``resume``).  Deprecated: still accepted
+            with identical semantics, but emit one
+            :class:`DeprecationWarning` per construction — migrate to
+            ``options=RunOptions(...)``.  Mixing both forms is a
+            :class:`~repro.errors.ConfigError`.
     """
+
+    #: The flat keyword names ``Study`` accepted before :class:`RunOptions`.
+    _LEGACY_OPTION_NAMES = (
+        "workers",
+        "backend",
+        "shard_size",
+        "profile_cache",
+        "max_shard_retries",
+        "on_shard_failure",
+        "fault_plan",
+        "checkpoint_dir",
+        "resume",
+    )
 
     def __init__(
         self,
         config: Optional[ScenarioConfig] = None,
         database: Optional[VulnerabilityDatabase] = None,
         mode: str = "manifest",
-        workers: Optional[int] = None,
-        backend: Optional[str] = None,
-        shard_size: Optional[int] = None,
-        profile_cache: Optional[bool] = None,
-        max_shard_retries: Optional[int] = None,
-        on_shard_failure: Optional[str] = None,
-        fault_plan: Optional["FaultPlan"] = None,
-        checkpoint_dir=None,
-        resume: bool = False,
+        options: Optional[RunOptions] = None,
+        **legacy,
     ) -> None:
-        self.config = config or default_scenario()
-        overrides = {}
-        if workers is not None:
-            overrides["workers"] = workers
-        if backend is not None:
-            overrides["backend"] = backend
-        if shard_size is not None:
-            overrides["shard_size"] = shard_size
-        if max_shard_retries is not None:
-            overrides["max_shard_retries"] = max_shard_retries
-        if on_shard_failure is not None:
-            overrides["on_shard_failure"] = on_shard_failure
-        if checkpoint_dir is not None:
-            overrides["checkpoint_dir"] = str(checkpoint_dir)
-        if resume:
-            overrides["resume"] = True
-        if overrides:
-            self.config = dataclasses.replace(
-                self.config,
-                execution=dataclasses.replace(self.config.execution, **overrides),
+        unknown = set(legacy) - set(self._LEGACY_OPTION_NAMES)
+        if unknown:
+            raise TypeError(
+                f"Study() got unexpected keyword argument(s): "
+                f"{', '.join(sorted(unknown))}"
             )
-        if profile_cache is not None:
-            self.config = dataclasses.replace(
-                self.config,
-                incremental=dataclasses.replace(
-                    self.config.incremental, profile_cache=profile_cache
-                ),
+        # Drop no-op legacy values (None, and resume=False) so that e.g.
+        # Study(config, workers=None) neither warns nor conflicts.
+        legacy = {
+            name: value
+            for name, value in legacy.items()
+            if value is not None and not (name == "resume" and value is False)
+        }
+        if legacy:
+            if options is not None:
+                raise ConfigError(
+                    "pass run options either as options=RunOptions(...) or "
+                    "as legacy keyword arguments, not both "
+                    f"(got both options= and {', '.join(sorted(legacy))})"
+                )
+            warnings.warn(
+                "Study's flat keyword arguments "
+                f"({', '.join(sorted(legacy))}) are deprecated; pass "
+                "options=RunOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            options = RunOptions.from_kwargs(**legacy)
+        self.options = options if options is not None else RunOptions()
+        self.config = self.options.apply_to(config or default_scenario())
         self.database = database or default_database()
         self.matcher = VersionMatcher(self.database)
         self.mode = mode
-        self.fault_plan = fault_plan
+        self.fault_plan: Optional[FaultPlan] = self.options.resilience.fault_plan
         self.ecosystem = WebEcosystem(self.config)
         self.store = ObservationStore(self.config.calendar, self.matcher)
         self.engine = FingerprintEngine()
@@ -140,7 +137,13 @@ class Study:
     # Pipeline
     # ------------------------------------------------------------------
     def run(self, weeks=None) -> CrawlReport:
-        """Build + crawl; idempotent per instance."""
+        """Build + crawl; idempotent per instance.
+
+        With ``options.observability.metrics_out`` set, the report's
+        canonical metrics document is written there after the crawl —
+        deterministic JSON, byte-identical across backends and
+        kill/resume (see :mod:`repro.obs`).
+        """
         crawler = Crawler(
             self.ecosystem,
             store=self.store,
@@ -149,6 +152,10 @@ class Study:
             fault_plan=self.fault_plan,
         )
         self._crawl_report = crawler.run(weeks=weeks)
+        metrics_out = self.options.observability.metrics_out
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(self._crawl_report.metrics.canonical_json())
         return self._crawl_report
 
     @property

@@ -14,7 +14,7 @@ from .fetch import FetchResult, Fetcher
 from .store import ObservationStore, WeekAggregate
 from .filtering import AccessibilityFilter
 from .cache import ProfileCache, site_state_key
-from .crawl import BlockStats, Crawler, CrawlReport
+from .crawl import Crawler, CrawlReport
 
 __all__ = [
     "Fetcher",
@@ -24,7 +24,6 @@ __all__ = [
     "AccessibilityFilter",
     "Crawler",
     "CrawlReport",
-    "BlockStats",
     "ProfileCache",
     "site_state_key",
 ]

@@ -86,5 +86,15 @@ class ProfileCache:
         if self.enabled:
             self._entries[rank] = (key, profile)
 
+    def record(self, instruments) -> None:
+        """Flush the hit/miss counters into an :class:`~repro.obs.Instruments`.
+
+        Always writes both keys (``cache.hits``/``cache.misses``), even
+        at zero, so the metrics document has a stable shape whether the
+        cache was enabled or not.
+        """
+        instruments.inc("cache.hits", self.hits)
+        instruments.inc("cache.misses", self.misses)
+
     def __len__(self) -> int:
         return len(self._entries)

@@ -19,6 +19,11 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..config import ExecutionConfig, IncrementalConfig, ScenarioConfig
 from ..errors import CrawlError
+from ..obs import (
+    LIBRARIES_PER_PAGE_EDGES,
+    SCRIPTS_PER_PAGE_EDGES,
+    Instruments,
+)
 from ..fingerprint import (
     CdnCatalog,
     FingerprintEngine,
@@ -45,6 +50,12 @@ from .store import ObservationStore
 class CrawlReport:
     """Summary of one crawl run.
 
+    All counters live in :attr:`metrics` — one
+    :class:`~repro.obs.Instruments` folded exactly from the per-shard
+    instruments every worker captured (see :mod:`repro.obs` for the
+    determinism tiers).  The former ad-hoc counter fields remain as
+    read-only properties, so existing callers keep working unchanged.
+
     A *degraded* run — one where shards exhausted their retries and were
     dropped instead of aborting the crawl — is recorded rather than
     hidden: ``dropped_shards``/``dropped_cells`` say how much of the
@@ -54,34 +65,78 @@ class CrawlReport:
 
     weeks_crawled: int
     domains_crawled: int
-    pages_collected: int
-    fetch_failures: int
     filter_report: Optional[FilterReport]
-    #: Profile-cache lookups that reused a previous week's profile.
-    cache_hits: int = 0
-    #: Profile-cache lookups that had to (re)build the profile.
-    cache_misses: int = 0
-    #: Shards dropped after exhausting their retries.
-    dropped_shards: int = 0
-    #: ``weeks × domains`` grid cells those shards covered.
-    dropped_cells: int = 0
-    #: Shard re-dispatch attempts across the whole run.
-    shard_retries: int = 0
-    #: Total simulated backoff wait (seconds; never slept for real).
-    backoff_seconds: float = 0.0
+    #: The run's folded telemetry.  Equality ignores the
+    #: non-deterministic ``process`` section, so two same-seed reports
+    #: compare equal across backends and kill/resume.
+    metrics: Instruments = dataclasses.field(default_factory=Instruments)
     #: One ``"<shard identity>: <error>"`` line per dropped shard,
-    #: ordered by shard index.
+    #: ordered by shard index.  Kept out of the metrics object: the
+    #: identity strings name the live backend, which the canonical
+    #: document must not (span events carry the error *kind* instead).
     shard_errors: Tuple[str, ...] = ()
-    #: Shards whose journaled payloads were replayed instead of
-    #: re-executed (checkpointed runs only).
-    shards_replayed: int = 0
-    #: Shards executed live by this run (on a resumed run: the missing
-    #: ones; on a fresh checkpointed run: all of them).
-    shards_reexecuted: int = 0
-    #: Journal entries that failed validation and were quarantined.
-    entries_quarantined: int = 0
-    #: Bytes of journal entries written by this run.
-    bytes_journaled: int = 0
+
+    # ------------------------------------------------------------------
+    # Back-compat counter views over the metrics object
+    # ------------------------------------------------------------------
+    @property
+    def pages_collected(self) -> int:
+        return self.metrics.counter("crawl.pages")
+
+    @property
+    def fetch_failures(self) -> int:
+        return self.metrics.counter("crawl.fetch_failures")
+
+    @property
+    def cache_hits(self) -> int:
+        """Profile-cache lookups that reused a previous week's profile."""
+        return self.metrics.counter("cache.hits")
+
+    @property
+    def cache_misses(self) -> int:
+        """Profile-cache lookups that had to (re)build the profile."""
+        return self.metrics.counter("cache.misses")
+
+    @property
+    def dropped_shards(self) -> int:
+        """Shards dropped after exhausting their retries."""
+        return self.metrics.counter("dispatch.dropped_shards")
+
+    @property
+    def dropped_cells(self) -> int:
+        """``weeks × domains`` grid cells the dropped shards covered."""
+        return self.metrics.counter("dispatch.dropped_cells")
+
+    @property
+    def shard_retries(self) -> int:
+        """Shard re-dispatch attempts across the whole run."""
+        return self.metrics.counter("dispatch.retries")
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Total simulated backoff wait (seconds; never slept for real)."""
+        return self.metrics.counter("dispatch.backoff_us") / 1_000_000
+
+    @property
+    def shards_replayed(self) -> int:
+        """Shards replayed from the journal (checkpointed runs only)."""
+        return int(self.metrics.process.get("ledger.shards_replayed", 0))
+
+    @property
+    def shards_reexecuted(self) -> int:
+        """Shards executed live by this run (on a resumed run: the
+        missing ones; on a fresh checkpointed run: all of them)."""
+        return int(self.metrics.process.get("ledger.shards_reexecuted", 0))
+
+    @property
+    def entries_quarantined(self) -> int:
+        """Journal entries that failed validation and were quarantined."""
+        return int(self.metrics.process.get("ledger.entries_quarantined", 0))
+
+    @property
+    def bytes_journaled(self) -> int:
+        """Bytes of journal entries written by this run."""
+        return int(self.metrics.process.get("journal.bytes_written", 0))
 
     @property
     def average_weekly_collected(self) -> float:
@@ -103,23 +158,14 @@ class CrawlReport:
         return self.dropped_shards > 0
 
 
-@dataclasses.dataclass
-class BlockStats:
-    """Counters produced by one :meth:`Crawler.crawl_block` call."""
-
-    pages: int = 0
-    failures: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    dropped_shards: int = 0
-    dropped_cells: int = 0
-    shard_retries: int = 0
-    backoff_seconds: float = 0.0
-    shard_errors: Tuple[str, ...] = ()
-    shards_replayed: int = 0
-    shards_reexecuted: int = 0
-    entries_quarantined: int = 0
-    bytes_journaled: int = 0
+def _shard_outcome_fields(instruments: Instruments) -> dict:
+    """The outcome facts a completed shard's span event carries."""
+    return {
+        "pages": instruments.counter("crawl.pages"),
+        "failures": instruments.counter("crawl.fetch_failures"),
+        "cache_hits": instruments.counter("cache.hits"),
+        "cache_misses": instruments.counter("cache.misses"),
+    }
 
 
 def profile_from_manifest(
@@ -281,70 +327,101 @@ class Crawler:
             weeks if weeks is not None else calendar.weeks
         )
 
+        instruments = Instruments(
+            enabled=ecosystem.config.observability.metrics
+        )
         filter_report: Optional[FilterReport] = None
         retained: Optional[Set[str]] = None
-        if self.apply_filter:
-            accessibility = AccessibilityFilter(
-                ecosystem,
-                empty_page_threshold=ecosystem.config.accessibility.empty_page_threshold,
+        with instruments.span("plan"):
+            if self.apply_filter:
+                accessibility = AccessibilityFilter(
+                    ecosystem,
+                    empty_page_threshold=(
+                        ecosystem.config.accessibility.empty_page_threshold
+                    ),
+                )
+                retained, filter_report = accessibility.run()
+
+            domains: List[Domain] = [
+                d
+                for d in ecosystem.population
+                if retained is None or d.name in retained
+            ]
+
+            from ..runtime import plan_shards
+
+            execution = self.execution
+            shards = plan_shards(
+                len(target_weeks),
+                len(domains),
+                workers=execution.workers,
+                shard_size=execution.shard_size,
             )
-            retained, filter_report = accessibility.run()
-
-        domains: List[Domain] = [
-            d
-            for d in ecosystem.population
-            if retained is None or d.name in retained
-        ]
-
-        from ..runtime import plan_shards
-
-        execution = self.execution
-        shards = plan_shards(
-            len(target_weeks),
-            len(domains),
-            workers=execution.workers,
-            shard_size=execution.shard_size,
-        )
         backend_name = execution.resolved_backend
+        shard_errors: Tuple[str, ...] = ()
         if (
             self.fault_plan is None
             and self.checkpoint_dir is None
             and backend_name == "serial"
             and len(shards) <= 1
         ):
-            stats = self.crawl_block(target_weeks, domains)
+            with instruments.span("dispatch"):
+                self.crawl_block(target_weeks, domains, instruments=instruments)
+            # Mirror the worker path's shard accounting exactly, so a
+            # direct serial run exports the identical canonical metrics
+            # document a one-shard dispatched run would.
+            from ..runtime.worker import shard_coverage_key
+
+            instruments.event(
+                "shard",
+                status="ok",
+                shard_index=0,
+                shard_key=shard_coverage_key(
+                    tuple(w.ordinal for w in target_weeks),
+                    tuple(d.name for d in domains),
+                ),
+                attempt=0,
+                fields=_shard_outcome_fields(instruments),
+                backend="serial",
+            )
+            instruments.inc("shards.completed")
+            for name in (
+                "dispatch.retries",
+                "dispatch.backoff_us",
+                "dispatch.dropped_shards",
+                "dispatch.dropped_cells",
+            ):
+                instruments.inc(name, 0)
+            instruments.note("backend", "serial")
         else:
             # A fault plan or a ledger always takes the dispatch path,
             # even for a single serial shard: injection points, retry /
             # drop semantics, and journaling must be identical on every
             # backend.
-            stats = self._run_sharded(
-                shards, target_weeks, domains, backend_name, execution.workers
+            shard_errors = self._run_sharded(
+                shards,
+                target_weeks,
+                domains,
+                backend_name,
+                execution.workers,
+                instruments,
             )
 
         return CrawlReport(
             weeks_crawled=len(target_weeks),
             domains_crawled=len(domains),
-            pages_collected=stats.pages,
-            fetch_failures=stats.failures,
             filter_report=filter_report,
-            cache_hits=stats.cache_hits,
-            cache_misses=stats.cache_misses,
-            dropped_shards=stats.dropped_shards,
-            dropped_cells=stats.dropped_cells,
-            shard_retries=stats.shard_retries,
-            backoff_seconds=stats.backoff_seconds,
-            shard_errors=stats.shard_errors,
-            shards_replayed=stats.shards_replayed,
-            shards_reexecuted=stats.shards_reexecuted,
-            entries_quarantined=stats.entries_quarantined,
-            bytes_journaled=stats.bytes_journaled,
+            metrics=instruments,
+            shard_errors=shard_errors,
         )
 
     # ------------------------------------------------------------------
     def crawl_block(
-        self, weeks: Sequence[Week], domains: Sequence[Domain]
-    ) -> BlockStats:
+        self,
+        weeks: Sequence[Week],
+        domains: Sequence[Domain],
+        instruments: Optional[Instruments] = None,
+    ) -> Instruments:
         """Crawl one block of (weeks × domains) into :attr:`store`.
 
         This is the shard primitive: no filtering, no dispatch — just
@@ -352,18 +429,32 @@ class Crawler:
         per call, so cache reuse never crosses a shard boundary and the
         runtime determinism contract (bit-identical stores on every
         backend) is preserved by construction.
+
+        Returns the block's :class:`~repro.obs.Instruments` (the one
+        passed in, or a fresh one honouring the scenario's observability
+        config): ``crawl.pages``/``crawl.fetch_failures``/``cache.*``
+        counters always, plus per-page histograms and fetch/fingerprint
+        instrumentation when detailed metrics are enabled.
         """
         ecosystem = self.ecosystem
-        fetcher = Fetcher(ecosystem.network)
+        ins = instruments
+        if ins is None:
+            ins = Instruments(enabled=ecosystem.config.observability.metrics)
+        # Stable document shape: the core counters exist even at zero.
+        ins.inc("crawl.pages", 0)
+        ins.inc("crawl.fetch_failures", 0)
+        detail = ins if ins.enabled else None
+        fetcher = Fetcher(ecosystem.network, instruments=detail)
+        if self.engine is not None:
+            self.engine.instruments = detail
         threshold = ecosystem.config.accessibility.empty_page_threshold
         cache = ProfileCache(enabled=self.incremental.profile_cache)
-        stats = BlockStats()
         for week in weeks:
             ecosystem.set_week(week.ordinal)
             for domain in domains:
                 if self.mode == "manifest":
                     if not self._reachable_fast(domain, week.ordinal):
-                        stats.failures += 1
+                        ins.inc("crawl.fetch_failures")
                         continue
                     manifest = ecosystem.manifest(domain, week.ordinal)
                     if cache.enabled:
@@ -391,15 +482,16 @@ class Crawler:
                             # Skip render + fingerprint, but draw this
                             # week's failure schedule exactly as the
                             # fetch would have.
+                            ins.inc("fetch.simulated")
                             if self._fetch_would_succeed(domain):
                                 self.store.ingest(domain, week, cached)
-                                stats.pages += 1
+                                self._observe_page(ins, cached)
                             else:
-                                stats.failures += 1
+                                ins.inc("crawl.fetch_failures")
                             continue
                     result = fetcher.fetch_domain(domain.name)
                     if not result.ok or result.size < threshold:
-                        stats.failures += 1
+                        ins.inc("crawl.fetch_failures")
                         continue
                     profile = self.engine.fingerprint(
                         result.text, f"https://{domain.name}/"
@@ -407,10 +499,26 @@ class Crawler:
                     if key is not None:
                         cache.store(domain.rank, key, profile)
                 self.store.ingest(domain, week, profile)
-                stats.pages += 1
-        stats.cache_hits = cache.hits
-        stats.cache_misses = cache.misses
-        return stats
+                self._observe_page(ins, profile)
+        cache.record(ins)
+        return ins
+
+    @staticmethod
+    def _observe_page(ins: Instruments, profile: PageProfile) -> None:
+        """Record one ingested page (dataset-tier: per-page, at ingest).
+
+        Observed where the page enters the store — not in the fetch or
+        cache paths — so the histograms are invariant under every
+        execution knob, including the profile cache.
+        """
+        ins.inc("crawl.pages")
+        if ins.enabled:
+            ins.observe(
+                "page.scripts", profile.script_count, SCRIPTS_PER_PAGE_EDGES
+            )
+            ins.observe(
+                "page.libraries", len(profile.libraries), LIBRARIES_PER_PAGE_EDGES
+            )
 
     # ------------------------------------------------------------------
     def _run_sharded(
@@ -420,7 +528,8 @@ class Crawler:
         domains: Sequence[Domain],
         backend_name: str,
         workers: int,
-    ) -> BlockStats:
+        instruments: Instruments,
+    ) -> Tuple[str, ...]:
         """Dispatch planned shards through a backend and fold results.
 
         Workers rebuild their ecosystems deterministically from the
@@ -435,8 +544,20 @@ class Crawler:
         journal entries instead of re-executing their shards.  The fold
         always runs in shard-plan order over replayed and live payloads
         alike, which is what keeps resumed stores byte-identical.
+
+        Fills ``instruments`` with the folded per-shard telemetry plus
+        the canonical dispatch accounting, and returns the dropped-shard
+        error lines (which name the live backend, so they stay out of
+        the metrics object).
         """
-        from ..runtime import ShardTask, dispatch_shards, get_backend
+        from ..runtime import (
+            ShardTask,
+            backoff_delay,
+            describe_backend,
+            dispatch_shards,
+            get_backend,
+        )
+        from ..runtime.worker import shard_coverage_key
         from .persistence import _FORMAT_VERSION, store_from_dict
 
         # Workers rebuild their crawler from the config, so explicit
@@ -501,50 +622,110 @@ class Crawler:
         backend = get_backend(backend_name, workers)
         execution = self.execution
         dispatch_kwargs = {} if run_task is None else {"run_task": run_task}
-        outcome = dispatch_shards(
-            backend,
-            pending,
-            max_retries=execution.max_shard_retries,
-            on_failure=execution.on_shard_failure,
-            **dispatch_kwargs,
-        )
+        ins = instruments
+        with ins.span("dispatch"):
+            outcome = dispatch_shards(
+                backend,
+                pending,
+                max_retries=execution.max_shard_retries,
+                on_failure=execution.on_shard_failure,
+                instruments=ins,
+                **dispatch_kwargs,
+            )
 
         payload_by_index = dict(replayed)
         for task, payload in zip(pending, outcome.payloads):
             if payload is not None:
                 payload_by_index[task.shard_index] = payload
 
-        stats = BlockStats()
-        for index in sorted(payload_by_index):
-            payload = payload_by_index[index]
-            partial = store_from_dict(
-                payload["store"], self.store.calendar, self.store.matcher
+        with ins.span("fold"):
+            for index in sorted(payload_by_index):
+                payload = payload_by_index[index]
+                partial = store_from_dict(
+                    payload["store"], self.store.calendar, self.store.matcher
+                )
+                self.store.merge(partial)
+                ins.merge(Instruments.from_payload(payload["metrics"]))
+
+        # Drop events carry the error *kind* only — the full message
+        # names the live backend, which must not leak into the canonical
+        # document (the same degraded run on another backend is
+        # byte-identical).
+        for failure in outcome.dropped:
+            shard = shards[failure.shard_index]
+            shard_ordinals = tuple(
+                w.ordinal
+                for w in target_weeks[
+                    shard.week_start : shard.week_start + shard.week_count
+                ]
             )
-            self.store.merge(partial)
-            stats.pages += payload["pages"]
-            stats.failures += payload["failures"]
-            stats.cache_hits += payload.get("cache_hits", 0)
-            stats.cache_misses += payload.get("cache_misses", 0)
-        stats.dropped_shards = len(outcome.dropped)
-        stats.dropped_cells = sum(
-            shards[failure.shard_index].cells for failure in outcome.dropped
+            shard_names = tuple(
+                d.name
+                for d in domains[
+                    shard.domain_start : shard.domain_start + shard.domain_count
+                ]
+            )
+            ins.event(
+                "shard",
+                status="dropped",
+                shard_index=failure.shard_index,
+                shard_key=shard_coverage_key(shard_ordinals, shard_names),
+                attempt=failure.attempts - 1,
+                fields={
+                    "error_kind": failure.error.split(":", 1)[0],
+                    "cells": shard.cells,
+                },
+                backend=backend_name,
+            )
+
+        # Canonical dispatch accounting.  With detailed metrics on, it
+        # is *derived* from the span events rather than read off this
+        # process's live dispatcher: a span's final attempt number pins
+        # how many re-dispatches (and how much simulated backoff) the
+        # shard cost, whether it ran here or was replayed from a journal
+        # — so a resumed run reports the original run's retries, and the
+        # canonical document stays byte-identical across kill/resume.
+        if ins.enabled:
+            retries = 0
+            backoff_us = 0
+            for event in ins.events:
+                if event.name != "shard":
+                    continue
+                retries += event.attempt
+                for attempt in range(event.attempt):
+                    backoff_us += int(round(backoff_delay(attempt) * 1_000_000))
+            ins.inc("dispatch.retries", retries)
+            ins.inc("dispatch.backoff_us", backoff_us)
+        else:
+            ins.inc("dispatch.retries", outcome.retries)
+            ins.inc(
+                "dispatch.backoff_us",
+                int(round(outcome.backoff_seconds * 1_000_000)),
+            )
+        ins.inc("dispatch.dropped_shards", len(outcome.dropped))
+        ins.inc(
+            "dispatch.dropped_cells",
+            sum(shards[failure.shard_index].cells for failure in outcome.dropped),
         )
-        stats.shard_retries = outcome.retries
-        stats.backoff_seconds = outcome.backoff_seconds
-        stats.shard_errors = tuple(
+        ins.note("backend", describe_backend(backend))
+
+        shard_errors = tuple(
             f"{failure.description}: {failure.error}"
             for failure in outcome.dropped
         )
         if ledger is not None:
-            stats.shards_replayed = len(replayed)
-            stats.shards_reexecuted = len(pending)
-            stats.entries_quarantined = scan.quarantined
-            stats.bytes_journaled = ledger.entry_bytes(
-                task.shard_index
-                for task, payload in zip(pending, outcome.payloads)
-                if payload is not None
+            ins.note("ledger.shards_replayed", len(replayed))
+            ins.note("ledger.shards_reexecuted", len(pending))
+            ins.note("ledger.entries_quarantined", scan.quarantined)
+            ins.note(
+                "journal.bytes_written",
+                ledger.entry_bytes(
+                    task.shard_index
+                    for task, payload in zip(pending, outcome.payloads)
+                    if payload is not None
+                ),
             )
-        return stats
+        return shard_errors
 
     # ------------------------------------------------------------------
     def _reachable_fast(self, domain: Domain, ordinal: int) -> bool:

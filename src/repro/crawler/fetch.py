@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import time
 from typing import Optional
 
 from ..errors import (
@@ -66,6 +67,9 @@ class Fetcher:
         max_redirects: Redirect-chain bound before giving up.
         retries: Extra attempts after a transient transport failure.
         timeout: Per-request timeout (seconds, simulated).
+        instruments: Optional :class:`~repro.obs.Instruments`; when set,
+            every fetch records its outcome class, attempt count, and
+            wall time (``fetch.*`` counters, ``wall.fetch_us``).
     """
 
     #: Default per-request timeout; the crawler's cache fast path
@@ -78,11 +82,13 @@ class Fetcher:
         max_redirects: int = 5,
         retries: int = 1,
         timeout: float = DEFAULT_TIMEOUT,
+        instruments=None,
     ) -> None:
         self.network = network
         self.max_redirects = max_redirects
         self.retries = retries
         self.timeout = timeout
+        self.instruments = instruments
 
     def _send_following_redirects(self, url: Url) -> HttpResponse:
         current = url
@@ -104,6 +110,18 @@ class Fetcher:
         Never raises for network-level failures; every outcome is encoded
         in the returned :class:`FetchResult`.
         """
+        if self.instruments is None:
+            return self._fetch(url)
+        started = time.perf_counter_ns()
+        result = self._fetch(url)
+        instruments = self.instruments
+        instruments.add_wall_us("fetch", (time.perf_counter_ns() - started) // 1000)
+        instruments.inc("fetch.requests")
+        instruments.inc("fetch.attempts", result.attempts)
+        instruments.inc(f"fetch.outcome.{result.outcome.value}")
+        return result
+
+    def _fetch(self, url: str) -> FetchResult:
         parsed = parse_url(url)
         attempts = 0
         last_transient: Optional[FetchOutcome] = None

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import functools
 import re
+import time
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..netsim.url import Url, parse_url, urljoin
@@ -41,17 +42,23 @@ class FingerprintEngine:
         signatures: Library signatures, most specific first; defaults to
             the built-in top-15 set.
         cdn_catalog: CDN host catalog for delivery classification.
+        instruments: Optional :class:`~repro.obs.Instruments`; when set,
+            every page fingerprinted records its count, script volume,
+            and wall time (``fingerprint.*`` counters,
+            ``wall.fingerprint_us``).
     """
 
     def __init__(
         self,
         signatures: Optional[Sequence[LibrarySignature]] = None,
         cdn_catalog: Optional[CdnCatalog] = None,
+        instruments=None,
     ) -> None:
         self.signatures: Tuple[LibrarySignature, ...] = tuple(
             signatures if signatures is not None else default_signatures()
         )
         self.cdn_catalog = cdn_catalog or default_cdn_catalog()
+        self.instruments = instruments
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -64,6 +71,19 @@ class FingerprintEngine:
             page_url: Absolute URL the page was fetched from; relative
                 script references resolve against it.
         """
+        if self.instruments is None:
+            return self._fingerprint(html, page_url)
+        started = time.perf_counter_ns()
+        profile = self._fingerprint(html, page_url)
+        instruments = self.instruments
+        instruments.add_wall_us(
+            "fingerprint", (time.perf_counter_ns() - started) // 1000
+        )
+        instruments.inc("fingerprint.pages")
+        instruments.inc("fingerprint.scripts", profile.script_count)
+        return profile
+
+    def _fingerprint(self, html: str, page_url: str) -> PageProfile:
         base = parse_url(page_url) if isinstance(page_url, str) else page_url
         page_host = _normalize_host(base.host)
         tags = scan_tags(html)

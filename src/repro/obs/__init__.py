@@ -1,0 +1,35 @@
+"""Deterministic observability: exact, mergeable run telemetry.
+
+See :mod:`repro.obs.instruments` for the determinism contract and
+:mod:`repro.obs.schema` for the canonical document validation used by
+CI against ``--metrics-out`` files.
+"""
+
+from .instruments import (
+    ATTEMPTS_EDGES,
+    DATASET_COUNTERS,
+    DATASET_HISTOGRAMS,
+    LIBRARIES_PER_PAGE_EDGES,
+    METRICS_FORMAT,
+    PAGES_PER_SHARD_EDGES,
+    SCRIPTS_PER_PAGE_EDGES,
+    Histogram,
+    Instruments,
+    SpanEvent,
+)
+from .schema import load_schema, validate_metrics
+
+__all__ = [
+    "ATTEMPTS_EDGES",
+    "DATASET_COUNTERS",
+    "DATASET_HISTOGRAMS",
+    "LIBRARIES_PER_PAGE_EDGES",
+    "METRICS_FORMAT",
+    "PAGES_PER_SHARD_EDGES",
+    "SCRIPTS_PER_PAGE_EDGES",
+    "Histogram",
+    "Instruments",
+    "SpanEvent",
+    "load_schema",
+    "validate_metrics",
+]

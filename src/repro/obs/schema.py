@@ -1,0 +1,84 @@
+"""Schema validation for the canonical metrics document.
+
+CI validates every ``--metrics-out`` file against the checked-in
+``metrics.schema.json`` so the document layout cannot drift silently.
+The container bakes in no JSON-Schema library, so this module implements
+the small subset the schema actually uses — ``type``, ``enum``,
+``required``, ``properties``, ``additionalProperties``, ``items``,
+``minimum`` — in pure stdlib Python.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Mapping
+
+SCHEMA_PATH = Path(__file__).with_name("metrics.schema.json")
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def load_schema() -> dict:
+    """The checked-in schema for the canonical metrics document."""
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def _check_type(value, expected: str) -> bool:
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def _validate(value, schema: Mapping, path: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_check_type(value, kind) for kind in allowed):
+            errors.append(
+                f"{path}: expected {' or '.join(allowed)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{path}: {value!r} below minimum {schema['minimum']!r}")
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in properties:
+                _validate(item, properties[name], f"{path}.{name}", errors)
+            elif isinstance(extra, dict):
+                _validate(item, extra, f"{path}.{name}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def validate_metrics(document, schema: Mapping = None) -> List[str]:
+    """Validate a metrics document; returns a list of error strings."""
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+    _validate(document, schema, "$", errors)
+    return errors

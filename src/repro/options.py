@@ -1,0 +1,406 @@
+"""Typed run options: one declaration drives ``Study`` *and* the CLI.
+
+``Study.__init__`` had sprawled to eleven loose keyword arguments that
+``cli.py`` mirrored by hand — two lists that could silently drift.  This
+module replaces both with four small frozen dataclasses grouped by
+concern:
+
+* :class:`ExecutionOptions` — sharding/parallelism (workers, backend,
+  shard size, profile cache);
+* :class:`ResilienceOptions` — fault plan, retry budget, failure policy;
+* :class:`DurabilityOptions` — checkpoint directory, resume;
+* :class:`ObservabilityOptions` — detailed metrics, ``--metrics-out``.
+
+A :class:`RunOptions` bundles the four and is the one thing ``Study``
+accepts (``Study(options=RunOptions(...))``).  Every field that has a
+command-line spelling declares it *in its own field metadata* (via
+:func:`opt`), and :func:`add_option_arguments` /
+:func:`options_from_namespace` derive the argparse argument groups and
+the namespace→options conversion from that single table — the CLI and
+the API cannot disagree, because there is only one declaration.
+
+All fields default to ``None`` ("inherit from the scenario config"),
+except booleans with a natural resting state (``resume=False``).
+Validation happens in each group's ``__post_init__`` with the same
+:class:`~repro.errors.ConfigError` messages the config layer uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple, Union
+
+from .config import EXECUTION_BACKENDS, ScenarioConfig
+from .errors import ConfigError
+from .runtime.faults import FaultPlan
+
+
+def opt(
+    default=None,
+    flag: Optional[str] = None,
+    *,
+    kind: str = "value",
+    type=str,
+    metavar: Optional[str] = None,
+    choices: Optional[Tuple[str, ...]] = None,
+    help: str = "",
+):
+    """A dataclass field carrying its own CLI spelling.
+
+    Args:
+        default: Field default (``None`` = inherit from the config).
+        flag: Command-line flag, e.g. ``"--workers"``; omit for
+            API-only fields.
+        kind: ``"value"`` (flag takes an argument), ``"store_true"``
+            (bare flag sets the field True), or ``"negate"`` (bare flag
+            sets the field **False** — for ``--no-X`` spellings of
+            default-on behaviour).
+        type: Argument type for ``"value"`` flags.
+        metavar: Argument placeholder in ``--help``.
+        choices: Allowed values, enforced by argparse.
+        help: ``--help`` text.
+    """
+    metadata = {}
+    if flag is not None:
+        metadata["cli"] = {
+            "flag": flag,
+            "kind": kind,
+            "type": type,
+            "metavar": metavar,
+            "choices": choices,
+            "help": help,
+        }
+    return dataclasses.field(default=default, metadata=metadata)
+
+
+def _flag_dest(flag: str) -> str:
+    """argparse's dest for a flag (``--no-profile-cache`` → ``no_profile_cache``)."""
+    return flag.lstrip("-").replace("-", "_")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionOptions:
+    """How the crawl executes: sharding, parallelism, incremental cache.
+
+    None of these can change a byte of the dataset (the runtime
+    determinism contract); they only change how fast it appears.
+    """
+
+    workers: Optional[int] = opt(
+        None,
+        "--workers",
+        type=int,
+        metavar="N",
+        help="shard the crawl across N workers (results are identical "
+        "to a serial run)",
+    )
+    backend: Optional[str] = opt(
+        None,
+        "--backend",
+        choices=EXECUTION_BACKENDS,
+        help="execution backend for sharded crawls (auto = process "
+        "when workers > 1)",
+    )
+    shard_size: Optional[int] = opt(
+        None,
+        "--shard-size",
+        type=int,
+        metavar="CELLS",
+        help="max weeks*domains cells per shard (0 = one shard per worker)",
+    )
+    profile_cache: Optional[bool] = opt(
+        None,
+        "--no-profile-cache",
+        kind="negate",
+        help="disable the incremental profile cache (results are "
+        "identical; only slower)",
+    )
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.backend is not None and self.backend not in EXECUTION_BACKENDS:
+            raise ConfigError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected one of {', '.join(EXECUTION_BACKENDS)}"
+            )
+        if self.shard_size is not None and self.shard_size < 0:
+            raise ConfigError("shard_size must be >= 0 (0 = auto)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceOptions:
+    """What happens when shards fail: chaos, retries, failure policy."""
+
+    fault_plan: Optional[Union[FaultPlan, str]] = opt(
+        None,
+        "--fault-plan",
+        metavar="SPEC",
+        help="inject deterministic chaos, e.g. "
+        "'seed=7,crash=0.3,timeout=0.1,weeks=0-5,surge5xx=0.5'; "
+        "the same (seed, plan) reproduces the identical degraded run",
+    )
+    max_shard_retries: Optional[int] = opt(
+        None,
+        "--max-shard-retries",
+        type=int,
+        metavar="N",
+        help="re-dispatch attempts per failed shard before it is "
+        "dropped (default: 2; backoff is simulated, never slept)",
+    )
+    on_shard_failure: Optional[str] = opt(
+        None,
+        "--on-shard-failure",
+        choices=("raise", "degrade"),
+        help="after retries are exhausted: 'raise' aborts the run, "
+        "'degrade' drops the shard with accounting (injected faults "
+        "always degrade)",
+    )
+
+    def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, str):
+            # Accept the CLI spec string directly; parse errors surface
+            # as the same ConfigError the CLI already reports.
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.from_spec(self.fault_plan)
+            )
+        if self.max_shard_retries is not None and self.max_shard_retries < 0:
+            raise ConfigError("max_shard_retries must be >= 0")
+        if self.on_shard_failure is not None and self.on_shard_failure not in (
+            "raise",
+            "degrade",
+        ):
+            raise ConfigError(
+                f"on_shard_failure must be 'raise' or 'degrade', "
+                f"got {self.on_shard_failure!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class DurabilityOptions:
+    """Whether the run survives its own death: ledger + resume."""
+
+    checkpoint_dir: Optional[str] = opt(
+        None,
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="keep a durable run ledger (manifest + per-shard "
+        "write-ahead journal) in DIR so a killed run can be resumed",
+    )
+    resume: bool = opt(
+        False,
+        "--resume",
+        kind="store_true",
+        help="resume the run recorded in --checkpoint-dir: replay "
+        "journaled shards and execute only the missing ones "
+        "(byte-identical to an uninterrupted run)",
+    )
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_dir is not None:
+            object.__setattr__(self, "checkpoint_dir", str(self.checkpoint_dir))
+        if self.resume and not self.checkpoint_dir:
+            raise ConfigError(
+                "resume=True requires checkpoint_dir (--checkpoint-dir)"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class ObservabilityOptions:
+    """What the run records about itself (see :mod:`repro.obs`)."""
+
+    metrics: Optional[bool] = opt(
+        None,
+        "--no-metrics",
+        kind="negate",
+        help="disable detailed metrics (histograms, span events, phase "
+        "timers); core report counters are always collected",
+    )
+    metrics_out: Optional[str] = opt(
+        None,
+        "--metrics-out",
+        metavar="FILE",
+        help="write the canonical metrics document to FILE: "
+        "deterministic JSON, byte-identical across backends and "
+        "kill/resume (validate with 'python -m repro.obs.check')",
+    )
+
+    def __post_init__(self) -> None:
+        if self.metrics_out is not None:
+            object.__setattr__(self, "metrics_out", str(self.metrics_out))
+
+
+#: The one table everything derives from: (RunOptions attribute, option
+#: class, --help group title, --help group description).
+OPTION_GROUPS: Tuple[Tuple[str, type, str, str], ...] = (
+    (
+        "execution",
+        ExecutionOptions,
+        "execution options",
+        "sharding and parallelism; never changes the dataset",
+    ),
+    (
+        "resilience",
+        ResilienceOptions,
+        "resilience options",
+        "fault injection and shard-failure handling",
+    ),
+    (
+        "durability",
+        DurabilityOptions,
+        "durability options",
+        "run ledger and crash recovery",
+    ),
+    (
+        "observability",
+        ObservabilityOptions,
+        "observability options",
+        "deterministic run metrics (repro.obs)",
+    ),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunOptions:
+    """Everything a :class:`~repro.Study` run can be configured with."""
+
+    execution: ExecutionOptions = dataclasses.field(
+        default_factory=ExecutionOptions
+    )
+    resilience: ResilienceOptions = dataclasses.field(
+        default_factory=ResilienceOptions
+    )
+    durability: DurabilityOptions = dataclasses.field(
+        default_factory=DurabilityOptions
+    )
+    observability: ObservabilityOptions = dataclasses.field(
+        default_factory=ObservabilityOptions
+    )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "RunOptions":
+        """Build options from the legacy flat ``Study`` keyword names."""
+        groups = {}
+        for attr, option_cls, _, _ in OPTION_GROUPS:
+            names = {field.name for field in dataclasses.fields(option_cls)}
+            taken = {name: kwargs.pop(name) for name in list(kwargs) if name in names}
+            groups[attr] = option_cls(**taken)
+        if kwargs:
+            unknown = ", ".join(sorted(kwargs))
+            raise ConfigError(f"unknown run option(s): {unknown}")
+        return cls(**groups)
+
+    # ------------------------------------------------------------------
+    def apply_to(self, config: ScenarioConfig) -> ScenarioConfig:
+        """The scenario config with these options' overrides applied.
+
+        Only non-``None`` fields override; everything else inherits from
+        ``config``, exactly as the legacy keyword arguments did.
+        """
+        overrides = {}
+        if self.execution.workers is not None:
+            overrides["workers"] = self.execution.workers
+        if self.execution.backend is not None:
+            overrides["backend"] = self.execution.backend
+        if self.execution.shard_size is not None:
+            overrides["shard_size"] = self.execution.shard_size
+        if self.resilience.max_shard_retries is not None:
+            overrides["max_shard_retries"] = self.resilience.max_shard_retries
+        if self.resilience.on_shard_failure is not None:
+            overrides["on_shard_failure"] = self.resilience.on_shard_failure
+        if self.durability.checkpoint_dir is not None:
+            overrides["checkpoint_dir"] = self.durability.checkpoint_dir
+        if self.durability.resume:
+            overrides["resume"] = True
+        if overrides:
+            config = dataclasses.replace(
+                config,
+                execution=dataclasses.replace(config.execution, **overrides),
+            )
+        if self.execution.profile_cache is not None:
+            config = dataclasses.replace(
+                config,
+                incremental=dataclasses.replace(
+                    config.incremental,
+                    profile_cache=self.execution.profile_cache,
+                ),
+            )
+        if self.observability.metrics is not None:
+            config = dataclasses.replace(
+                config,
+                observability=dataclasses.replace(
+                    config.observability, metrics=self.observability.metrics
+                ),
+            )
+        return config
+
+
+# ----------------------------------------------------------------------
+# CLI derivation: argparse groups from the same field metadata
+# ----------------------------------------------------------------------
+def add_option_arguments(parser) -> None:
+    """Add every option-group flag to ``parser``, grouped for ``--help``.
+
+    Derived field-by-field from :data:`OPTION_GROUPS`, so a new option
+    only ever gets declared once.
+    """
+    for _, option_cls, title, description in OPTION_GROUPS:
+        group = parser.add_argument_group(title, description)
+        for field in dataclasses.fields(option_cls):
+            spec = field.metadata.get("cli")
+            if spec is None:
+                continue
+            if spec["kind"] == "value":
+                kwargs = {"default": None, "help": spec["help"]}
+                if spec["type"] is not str:
+                    kwargs["type"] = spec["type"]
+                if spec["metavar"]:
+                    kwargs["metavar"] = spec["metavar"]
+                if spec["choices"]:
+                    kwargs["choices"] = list(spec["choices"])
+                group.add_argument(spec["flag"], **kwargs)
+            else:  # store_true / negate: a bare flag
+                group.add_argument(
+                    spec["flag"], action="store_true", help=spec["help"]
+                )
+
+
+def options_from_namespace(namespace) -> RunOptions:
+    """Build validated :class:`RunOptions` from parsed CLI arguments.
+
+    Raises:
+        ConfigError: Any group's validation failed (bad backend name,
+            negative retries, resume without checkpoint dir, malformed
+            fault-plan spec...).
+    """
+    groups = {}
+    for attr, option_cls, _, _ in OPTION_GROUPS:
+        values = {}
+        for field in dataclasses.fields(option_cls):
+            spec = field.metadata.get("cli")
+            if spec is None:
+                continue
+            raw = getattr(namespace, _flag_dest(spec["flag"]), None)
+            if spec["kind"] == "negate":
+                if raw:  # --no-X given: turn the behaviour off
+                    values[field.name] = False
+            elif spec["kind"] == "store_true":
+                if raw:
+                    values[field.name] = True
+            elif raw is not None:
+                values[field.name] = raw
+        groups[attr] = option_cls(**values)
+    return RunOptions(**groups)
+
+
+__all__ = [
+    "DurabilityOptions",
+    "ExecutionOptions",
+    "ObservabilityOptions",
+    "OPTION_GROUPS",
+    "ResilienceOptions",
+    "RunOptions",
+    "add_option_arguments",
+    "opt",
+    "options_from_namespace",
+]

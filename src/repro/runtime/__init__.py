@@ -32,6 +32,7 @@ from .backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    describe_backend,
     get_backend,
 )
 from .dispatch import (
@@ -65,6 +66,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "describe_backend",
     "get_backend",
     "Shard",
     "plan_shards",

@@ -43,6 +43,19 @@ class ExecutionBackend(Protocol):
         ...
 
 
+def describe_backend(backend: "ExecutionBackend") -> str:
+    """Diagnostic label for a backend, e.g. ``"thread x4"``.
+
+    Used for the metrics ``process`` tier (and error messages) only —
+    backend identity must never reach the canonical metrics document,
+    because the same run on another backend is byte-identical.
+    """
+    workers = getattr(backend, "workers", 1)
+    if workers <= 1:
+        return backend.name
+    return f"{backend.name} x{workers}"
+
+
 class SerialBackend:
     """Runs shards one after another in the calling thread.
 

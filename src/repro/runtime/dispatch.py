@@ -110,6 +110,7 @@ def dispatch_shards(
     on_failure: str = "raise",
     clock: Optional[SimulatedClock] = None,
     run_task: Callable[[ShardTask], Dict[str, object]] = execute_shard_safely,
+    instruments=None,
 ) -> DispatchResult:
     """Execute shard tasks with retry, backoff, and failure isolation.
 
@@ -126,6 +127,11 @@ def dispatch_shards(
         clock: Backoff clock; defaults to a fresh :class:`SimulatedClock`.
         run_task: Worker entry point (injectable for tests); must return
             a payload dict with an ``"ok"`` key and never raise.
+        instruments: Optional :class:`~repro.obs.Instruments`; receives
+            this dispatcher's *live* accounting — simulated backoff and
+            retry round count — in the process (diagnostic) tier.  The
+            canonical retry/backoff counters are derived from span
+            events by the fold instead, so they survive kill/resume.
 
     Returns:
         A :class:`DispatchResult`; ``payloads`` aligns with ``tasks``.
@@ -140,7 +146,9 @@ def dispatch_shards(
     retries = 0
 
     pending = list(tasks)
+    rounds = 0
     while pending:
+        rounds += 1
         results = backend.map(run_task, pending)
         requeued: List[ShardTask] = []
         for task, payload in zip(pending, results):
@@ -173,6 +181,15 @@ def dispatch_shards(
         pending = requeued
 
     dropped.sort(key=lambda failure: failure.shard_index)
+    if instruments is not None and instruments.enabled:
+        for key, value in (
+            ("dispatch.rounds", rounds),
+            ("dispatch.live_retries", retries),
+            ("sim.backoff_us", int(round(clock.now * 1_000_000))),
+        ):
+            instruments.process[key] = (
+                int(instruments.process.get(key, 0)) + value
+            )
     return DispatchResult(
         payloads=payloads,
         dropped=dropped,

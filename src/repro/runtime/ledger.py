@@ -52,17 +52,26 @@ import hashlib
 import json
 import os
 import pickle
+import time
 import zlib
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..config import ExecutionConfig, IncrementalConfig, ScenarioConfig
+from ..config import (
+    ExecutionConfig,
+    IncrementalConfig,
+    ObservabilityConfig,
+    ScenarioConfig,
+)
 from ..errors import CheckpointError, CheckpointMismatchError
 from .sharding import Shard
 from .worker import ShardTask, execute_shard_safely, shard_coverage_key
 
-#: Version of the manifest + journal-entry schema.
-LEDGER_FORMAT = 1
+#: Version of the manifest + journal-entry schema.  Format 2 (PR-5)
+#: requires every journaled payload to carry its in-worker ``"metrics"``
+#: capture; format-1 entries are quarantined and their shards re-run, so
+#: resumed folds never mix metered and unmetered shards.
+LEDGER_FORMAT = 2
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_DIRNAME = "journal"
@@ -122,15 +131,17 @@ def _sha256_text(text: str) -> str:
 def scenario_digest(config: ScenarioConfig) -> str:
     """Digest of everything in the config that determines the dataset.
 
-    Execution and incremental knobs are normalized away first — they can
-    never change a byte (the runtime determinism contract), so resuming
-    with different workers, backend, shard size, or cache settings is
-    legal and produces the identical store.
+    Execution, incremental, and observability knobs are normalized away
+    first — they can never change a byte (the runtime determinism
+    contract), so resuming with different workers, backend, shard size,
+    cache, or metrics settings is legal and produces the identical
+    store.
     """
     normalized = dataclasses.replace(
         config,
         execution=ExecutionConfig(),
         incremental=IncrementalConfig(),
+        observability=ObservabilityConfig(),
     )
     return hashlib.sha256(pickle.dumps(normalized)).hexdigest()
 
@@ -522,6 +533,11 @@ class RunLedger:
             return None
         if "store" not in payload:
             return None
+        # Format 2: the in-worker metrics capture must ride with the
+        # store — a payload without it cannot participate in the exact
+        # telemetry fold, so its shard is re-executed instead.
+        if not isinstance(payload.get("metrics"), dict):
+            return None
         entry["payload"] = payload
         return entry
 
@@ -566,7 +582,19 @@ class JournalingRunner:
     def __call__(self, task: ShardTask) -> Dict[str, object]:
         payload = self.run_task(task)
         if payload.get("ok"):
+            started = time.perf_counter_ns()
             RunLedger(self.root).journal(
                 task.shard_index, task.shard_key(), payload
             )
+            # The journal-write wall time is stamped *after* journaling
+            # (the durable bytes can't contain their own write time) and
+            # lives in the process tier, so it never perturbs canonical
+            # metrics.  A replayed payload simply lacks it — correctly:
+            # the resumed run did not pay that write.
+            metrics = payload.get("metrics")
+            if isinstance(metrics, dict):
+                process = metrics.setdefault("process", {})
+                process["wall.journal_us"] = int(process.get(
+                    "wall.journal_us", 0
+                )) + (time.perf_counter_ns() - started) // 1000
         return payload

@@ -144,7 +144,12 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
 
     Returns:
         ``{"store": <store_to_dict payload>, "pages": int,
-        "failures": int, "cache_hits": int, "cache_misses": int}``.
+        "failures": int, "cache_hits": int, "cache_misses": int,
+        "metrics": <Instruments.to_payload dict>}``.  The metrics are
+        captured here, in-worker, alongside the shard's store — they
+        ride the same payload through the journal and the dispatch
+        fold, which is what makes the folded telemetry identical for
+        live, retried, and replayed shards.
 
     Raises:
         InjectedWorkerCrash: The task's fault plan scheduled a crash for
@@ -199,14 +204,30 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
         if domain is None:  # pragma: no cover - planner/task mismatch
             raise RuntimeError(f"shard references unknown domain {name!r}")
         domains.append(domain)
-    stats = crawler.crawl_block(weeks, domains)
+    instruments = crawler.crawl_block(weeks, domains)
+    # The span event records which attempt finally completed the shard:
+    # the dispatcher derives canonical retry/backoff totals from it, so
+    # a replayed shard reports the attempts it originally cost.
+    from ..crawler.crawl import _shard_outcome_fields
+
+    instruments.event(
+        "shard",
+        status="ok",
+        shard_index=task.shard_index,
+        shard_key=task.shard_key(),
+        attempt=task.attempt,
+        fields=_shard_outcome_fields(instruments),
+        backend=task.backend_name,
+    )
+    instruments.inc("shards.completed")
     return {
         "ok": True,
         "store": store_to_dict(store),
-        "pages": stats.pages,
-        "failures": stats.failures,
-        "cache_hits": stats.cache_hits,
-        "cache_misses": stats.cache_misses,
+        "pages": instruments.counter("crawl.pages"),
+        "failures": instruments.counter("crawl.fetch_failures"),
+        "cache_hits": instruments.counter("cache.hits"),
+        "cache_misses": instruments.counter("cache.misses"),
+        "metrics": instruments.to_payload(),
     }
 
 

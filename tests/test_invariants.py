@@ -16,7 +16,11 @@ similarity:
 * the profile cache never changes bytes, even under injected 5xx /
   timeout schedules;
 * conservation: every ``weeks × domains`` cell is accounted for as a
-  page, a fetch failure, or a dropped cell.
+  page, a fetch failure, or a dropped cell;
+* the canonical metrics document (:mod:`repro.obs`) obeys the same
+  tiers: byte-identical across backends for a fixed shard plan (even
+  degraded and killed-and-resumed runs), dataset-tier identical across
+  shard sizes, worker counts, and cache settings.
 
 All of it runs without wall-clock sleeps (enforced below) on one CPU.
 """
@@ -355,6 +359,165 @@ class TestProcessBackendFaultPath:
         assert store == serial_store
         assert report.dropped_shards == serial_report.dropped_shards
         assert report.backoff_seconds == serial_report.backoff_seconds
+
+
+class TestMetricsIdentity:
+    """repro.obs determinism tiers, property-tested end to end."""
+
+    def test_canonical_document_identical_across_backends(self):
+        """Fixed (plan, cache): every backend exports the same bytes.
+
+        Includes the direct serial path (one shard, no dispatch), which
+        must mirror a one-worker dispatched run exactly.
+        """
+
+        def prop(rng, seed):
+            config = ScenarioConfig(population=rng.choice((30, 40)), seed=seed)
+            weeks = config.calendar.weeks[: rng.randint(3, 4)]
+            workers = rng.randint(1, 3)
+            shard_size = rng.choice((0, rng.randint(10, 60)))
+            plan = None
+            if rng.random() < 0.4:
+                plan = proptest.fault_plan(rng, [w.ordinal for w in weeks])
+            docs = {}
+            for backend in ("serial", "thread", "process"):
+                report, _ = _run_crawler(
+                    config,
+                    weeks,
+                    backend=backend,
+                    workers=workers,
+                    shard_size=shard_size,
+                    plan=plan,
+                )
+                docs[backend] = report.metrics.canonical_json()
+                assert "backend" not in docs[backend]
+            assert docs["serial"] == docs["thread"] == docs["process"], (
+                f"workers={workers} shard_size={shard_size} "
+                f"plan={'yes' if plan else 'no'}"
+            )
+
+        proptest.forall(prop)
+
+    def test_dataset_tier_invariant_under_every_execution_knob(self):
+        """Per-page facts never move with sharding, workers, or cache."""
+        import json
+
+        def prop(rng, seed):
+            config = ScenarioConfig(population=40, seed=seed)
+            weeks = config.calendar.weeks[: rng.randint(3, 4)]
+
+            def dataset(**kwargs):
+                report, _ = _run_crawler(config, weeks, **kwargs)
+                document = json.loads(report.metrics.canonical_json())
+                return json.dumps(document["dataset"], sort_keys=True)
+
+            baseline = dataset()
+            for _ in range(2):
+                variant = dataset(
+                    backend=rng.choice(("serial", "thread")),
+                    workers=rng.randint(1, 3),
+                    shard_size=rng.choice((0, rng.randint(7, 50))),
+                    profile_cache=rng.choice((True, False)),
+                )
+                assert variant == baseline
+
+        proptest.forall(prop)
+
+    def test_conservation_holds_inside_the_metrics_document(self):
+        """The exported counters obey the cell-conservation law too."""
+        import json
+
+        def prop(rng, seed):
+            config = ScenarioConfig(population=40, seed=seed)
+            weeks = config.calendar.weeks[: rng.randint(3, 4)]
+            plan = proptest.fault_plan(rng, [w.ordinal for w in weeks])
+            report, _ = _run_crawler(
+                config,
+                weeks,
+                backend="thread",
+                workers=2,
+                shard_size=rng.randint(10, 40),
+                max_retries=rng.randint(0, 1),
+                plan=plan,
+            )
+            document = json.loads(report.metrics.canonical_json())
+            dataset = document["dataset"]
+            assert (
+                dataset["pages_collected"]
+                + dataset["fetch_failures"]
+                + dataset["dropped_cells"]
+                == len(weeks) * config.population
+            )
+            # And the document always passes its own schema.
+            from repro.obs import validate_metrics
+
+            assert validate_metrics(document) == []
+
+        proptest.forall(prop)
+
+    def test_killed_and_resumed_run_exports_identical_bytes(self, tmp_path):
+        """Kill/resume cannot move a single canonical byte.
+
+        The resumed run replays journaled shards and re-executes the
+        rest, yet its ``--metrics-out`` document — including the derived
+        retry/backoff accounting — is byte-identical to the
+        uninterrupted run's.
+        """
+
+        def prop(rng, seed):
+            config = ScenarioConfig(population=30, seed=seed)
+            weeks = config.calendar.weeks[:3]
+            plan = None
+            if rng.random() < 0.5:
+                plan = FaultPlan(seed=seed, crash_rate=0.3)
+            shard_size = rng.randint(15, 50)
+
+            uninterrupted = tmp_path / f"whole-{seed}"
+            report1, store1 = _run_crawler(
+                config,
+                weeks,
+                backend="thread",
+                workers=2,
+                shard_size=shard_size,
+                plan=plan,
+                checkpoint_dir=uninterrupted,
+            )
+
+            # "Kill" a second, identical run by damaging its journal:
+            # delete a random subset of entries and truncate a survivor.
+            killed = tmp_path / f"killed-{seed}"
+            _run_crawler(
+                config,
+                weeks,
+                backend="thread",
+                workers=2,
+                shard_size=shard_size,
+                plan=plan,
+                checkpoint_dir=killed,
+            )
+            entries = sorted((killed / "journal").glob("shard-*.wal"))
+            for entry in entries:
+                if rng.random() < 0.5:
+                    entry.unlink()
+                elif rng.random() < 0.3:
+                    entry.write_bytes(entry.read_bytes()[:40])
+            report2, store2 = _run_crawler(
+                config,
+                weeks,
+                backend=rng.choice(("serial", "process")),
+                workers=2,
+                plan=plan,
+                checkpoint_dir=killed,
+                resume=True,
+            )
+            assert store2 == store1
+            assert (
+                report2.metrics.canonical_json()
+                == report1.metrics.canonical_json()
+            )
+            assert report2.metrics == report1.metrics
+
+        proptest.forall(prop)
 
 
 class TestLedgerRoundTrip:

@@ -1,0 +1,228 @@
+"""Unit tests for the deterministic observability layer (repro.obs).
+
+The integration-level guarantees (canonical byte-identity across
+backends, shard sizes, cache settings, and kill/resume) live in
+``test_invariants.py``; this file pins the primitives those guarantees
+are built from — histogram arithmetic, the exact merge, the payload and
+canonical codecs, pickling, and the schema validator.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    ATTEMPTS_EDGES,
+    METRICS_FORMAT,
+    SCRIPTS_PER_PAGE_EDGES,
+    Histogram,
+    Instruments,
+    SpanEvent,
+    load_schema,
+    validate_metrics,
+)
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_edges(self):
+        hist = Histogram((0, 1, 5))
+        for value in (0, 1, 2, 5, 6, 100):
+            hist.observe(value)
+        # buckets: <=0, <=1, <=5, overflow
+        assert hist.counts == [1, 1, 2, 2]
+        assert hist.count == 6
+        assert hist.total == 114
+        assert hist.vmin == 0 and hist.vmax == 100
+
+    def test_merge_is_exact_and_order_free(self):
+        rng = random.Random(3)
+        values = [rng.randint(0, 40) for _ in range(200)]
+        whole = Histogram(SCRIPTS_PER_PAGE_EDGES)
+        for v in values:
+            whole.observe(v)
+        cut = rng.randint(1, len(values) - 1)
+        a, b = Histogram(SCRIPTS_PER_PAGE_EDGES), Histogram(SCRIPTS_PER_PAGE_EDGES)
+        for v in values[:cut]:
+            a.observe(v)
+        for v in values[cut:]:
+            b.observe(v)
+        ab = Histogram(SCRIPTS_PER_PAGE_EDGES)
+        ab.merge(b)
+        ab.merge(a)
+        assert ab == whole
+
+    def test_merge_rejects_mismatched_edges(self):
+        with pytest.raises(ConfigError):
+            Histogram((0, 1)).merge(Histogram((0, 2)))
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram((3, 1, 2))
+
+    def test_dict_round_trip(self):
+        hist = Histogram(ATTEMPTS_EDGES)
+        for v in (1, 1, 2, 9):
+            hist.observe(v)
+        assert Histogram.from_dict(hist.to_dict()) == hist
+
+    def test_empty_histogram_serializes_null_min_max(self):
+        payload = Histogram((0, 1)).to_dict()
+        assert payload["min"] is None and payload["max"] is None
+
+
+def _filled(backend="serial", pages=3):
+    ins = Instruments()
+    for _ in range(pages):
+        ins.inc("crawl.pages")
+        ins.observe("page.scripts", 4, SCRIPTS_PER_PAGE_EDGES)
+    ins.event(
+        "shard",
+        status="ok",
+        shard_index=0,
+        shard_key="weeks:0-1|domains:a..b|n=2",
+        attempt=1,
+        fields={"pages": pages},
+        backend=backend,
+    )
+    ins.note("backend", backend)
+    ins.add_wall_us("fetch", 1234)
+    return ins
+
+
+class TestInstruments:
+    def test_merge_matches_single_stream(self):
+        parts = [_filled(pages=n) for n in (1, 2, 5)]
+        left = Instruments()
+        for p in parts:
+            left.merge(p)
+        right = Instruments()
+        for p in reversed(parts):
+            right.merge(p)
+        # Equality ignores process; counters/histograms/events agree.
+        assert left == right
+        assert left.counter("crawl.pages") == 8
+        assert left.canonical_json() == right.canonical_json()
+
+    def test_equality_ignores_process_and_backend(self):
+        a = _filled(backend="serial")
+        b = _filled(backend="process")
+        b.note("extra", "diagnostic")
+        b.add_wall_us("fetch", 999_999)
+        assert a == b
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_canonical_json_excludes_backend_and_process(self):
+        text = _filled(backend="thread").canonical_json()
+        assert "thread" not in text
+        assert "process" not in json.loads(text)
+        assert "wall.fetch_us" not in text
+
+    def test_payload_round_trip_preserves_everything(self):
+        ins = _filled()
+        back = Instruments.from_payload(ins.to_payload())
+        assert back == ins
+        assert back.process == ins.process  # payload keeps diagnostics
+
+    def test_payload_survives_json(self):
+        ins = _filled()
+        back = Instruments.from_payload(json.loads(json.dumps(ins.to_payload())))
+        assert back == ins
+
+    def test_pickle_round_trip(self):
+        ins = _filled()
+        back = pickle.loads(pickle.dumps(ins))
+        assert back == ins and back.process == ins.process
+
+    def test_disabled_gates_detail_but_not_counters(self):
+        ins = Instruments(enabled=False)
+        ins.inc("crawl.pages", 7)
+        ins.observe("page.scripts", 3, SCRIPTS_PER_PAGE_EDGES)
+        ins.event(
+            "shard", status="ok", shard_index=0, shard_key="k", attempt=0
+        )
+        with ins.span("plan"):
+            pass
+        assert ins.counter("crawl.pages") == 7
+        assert not ins.histograms and not ins.events and not ins.process
+
+    def test_span_accumulates_wall_and_sim_time(self):
+        class FakeClock:
+            now = 2.5
+
+        ins = Instruments()
+        clock = FakeClock()
+        with ins.span("dispatch", clock=clock):
+            clock.now = 4.0
+        assert ins.process["sim.dispatch_us"] == 1_500_000
+        assert ins.process["wall.dispatch_us"] >= 0
+        assert ins.wall_seconds("dispatch") == pytest.approx(
+            ins.process["wall.dispatch_us"] / 1e6
+        )
+
+    def test_span_event_sorting_is_deterministic(self):
+        ins = Instruments()
+        for index in (2, 0, 1):
+            ins.event(
+                "shard", status="ok", shard_index=index, shard_key="k", attempt=0
+            )
+        ordered = [e["shard_index"] for e in ins.to_payload()["spans"]]
+        assert ordered == [0, 1, 2]
+
+
+class TestSchema:
+    def test_canonical_document_validates(self):
+        document = json.loads(_filled().canonical_json())
+        assert validate_metrics(document) == []
+        assert document["format"] == METRICS_FORMAT
+
+    def test_violations_are_reported(self):
+        document = json.loads(_filled().canonical_json())
+        document["dataset"].pop("pages_collected")
+        document["execution"]["spans"][0]["status"] = "exploded"
+        document["format"] = 99
+        failures = validate_metrics(document)
+        assert any("pages_collected" in f for f in failures)
+        assert any("status" in f for f in failures)
+        assert any("format" in f for f in failures)
+
+    def test_schema_rejects_unknown_top_level_keys(self):
+        document = json.loads(_filled().canonical_json())
+        document["surprise"] = 1
+        assert validate_metrics(document)
+
+    def test_checker_cli(self, tmp_path, capsys):
+        from repro.obs.check import main
+
+        good = tmp_path / "good.json"
+        good.write_text(_filled().canonical_json())
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main([str(bad)]) == 1
+        assert main([]) == 2
+
+    def test_load_schema_is_valid_json_document(self):
+        schema = load_schema()
+        assert schema["properties"]["format"]["enum"] == [METRICS_FORMAT]
+
+
+class TestSpanEvent:
+    def test_dict_round_trip_and_backend_exclusion(self):
+        event = SpanEvent(
+            name="shard",
+            status="dropped",
+            shard_index=3,
+            shard_key="k",
+            attempt=2,
+            fields=(("cells", 40), ("error_kind", "InjectedWorkerCrash")),
+            backend="process",
+        )
+        assert SpanEvent.from_dict(event.to_dict()) == event
+        assert "backend" not in event.to_dict(include_backend=False)
+        twin = SpanEvent.from_dict({**event.to_dict(), "backend": "serial"})
+        assert twin == event  # backend is excluded from equality

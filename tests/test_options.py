@@ -1,0 +1,237 @@
+"""The typed run-options API and its single-declaration CLI derivation.
+
+Pins the PR-5 redesign contracts:
+
+* ``Study(options=RunOptions(...))`` and the legacy flat keyword
+  arguments configure the identical study (same resolved config, same
+  fault plan);
+* legacy kwargs still work but emit exactly one
+  :class:`DeprecationWarning` per construction; mixing both forms is a
+  :class:`~repro.errors.ConfigError`;
+* the CLI flags are derived from the option dataclasses' field
+  metadata, so the two surfaces cannot drift — asserted structurally
+  (every declared flag exists on the parser) and behaviourally (parsed
+  flags convert into the same ``RunOptions`` the API builds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import (
+    DurabilityOptions,
+    ExecutionOptions,
+    FaultPlan,
+    ObservabilityOptions,
+    ResilienceOptions,
+    RunOptions,
+    ScenarioConfig,
+    Study,
+)
+from repro.errors import ConfigError
+from repro.options import (
+    OPTION_GROUPS,
+    _flag_dest,
+    options_from_namespace,
+)
+
+
+CONFIG = ScenarioConfig(population=30, seed=9)
+
+
+class TestEquivalence:
+    def test_legacy_kwargs_and_options_configure_identically(self, tmp_path):
+        plan = FaultPlan(seed=3, crash_rate=0.2)
+        kwargs = dict(
+            workers=3,
+            backend="thread",
+            shard_size=40,
+            profile_cache=False,
+            max_shard_retries=1,
+            on_shard_failure="degrade",
+            fault_plan=plan,
+            checkpoint_dir=str(tmp_path / "ledger"),
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = Study(CONFIG, **kwargs)
+        modern = Study(
+            CONFIG,
+            options=RunOptions(
+                execution=ExecutionOptions(
+                    workers=3, backend="thread", shard_size=40,
+                    profile_cache=False,
+                ),
+                resilience=ResilienceOptions(
+                    fault_plan=plan, max_shard_retries=1,
+                    on_shard_failure="degrade",
+                ),
+                durability=DurabilityOptions(
+                    checkpoint_dir=str(tmp_path / "ledger")
+                ),
+            ),
+        )
+        assert legacy.config == modern.config
+        assert legacy.fault_plan == modern.fault_plan
+        assert legacy.options == modern.options
+
+    def test_legacy_kwargs_warn_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Study(CONFIG, workers=2, backend="serial", shard_size=10)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "options=RunOptions" in str(deprecations[0].message)
+
+    def test_options_form_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            Study(CONFIG, options=RunOptions())
+            Study(CONFIG)
+            # None-valued legacy kwargs are no-ops, not deprecated uses.
+            Study(CONFIG, workers=None, resume=False)
+        assert caught == []
+
+    def test_mixing_forms_is_an_error(self):
+        with pytest.raises(ConfigError, match="not both"):
+            Study(CONFIG, options=RunOptions(), workers=2)
+
+    def test_unknown_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="wrokers"):
+            Study(CONFIG, wrokers=2)
+
+    def test_run_options_from_kwargs_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="unknown run option"):
+            RunOptions.from_kwargs(wrokers=2)
+
+
+class TestValidation:
+    def test_execution_validation_matches_config_layer(self):
+        with pytest.raises(ConfigError, match="workers must be >= 1"):
+            ExecutionOptions(workers=0)
+        with pytest.raises(ConfigError, match="shard_size must be >= 0"):
+            ExecutionOptions(shard_size=-1)
+        with pytest.raises(ConfigError, match="unknown execution backend"):
+            ExecutionOptions(backend="quantum")
+
+    def test_resilience_validation(self):
+        with pytest.raises(ConfigError, match="max_shard_retries"):
+            ResilienceOptions(max_shard_retries=-1)
+        with pytest.raises(ConfigError):
+            ResilienceOptions(fault_plan="bogus=1")
+
+    def test_fault_plan_spec_string_is_parsed(self):
+        options = ResilienceOptions(fault_plan="seed=5,crash=0.25")
+        assert options.fault_plan == FaultPlan.from_spec("seed=5,crash=0.25")
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigError, match="checkpoint"):
+            DurabilityOptions(resume=True)
+
+    def test_apply_to_overrides_only_what_is_set(self):
+        base = ScenarioConfig(population=30, seed=9)
+        applied = RunOptions(
+            observability=ObservabilityOptions(metrics=False)
+        ).apply_to(base)
+        assert applied.observability.metrics is False
+        assert applied.execution == base.execution
+        assert applied.incremental == base.incremental
+        assert RunOptions().apply_to(base) == base
+
+
+class TestCliDerivation:
+    def _run_parser(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        # The 'run' subparser is where the option groups are attached.
+        subparsers = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+            and "run" in action.choices
+        )
+        return subparsers.choices["run"]
+
+    def test_every_declared_flag_exists_on_the_run_parser(self):
+        run = self._run_parser()
+        flags = {
+            flag for action in run._actions for flag in action.option_strings
+        }
+        for _, option_cls, _, _ in OPTION_GROUPS:
+            for field in dataclasses.fields(option_cls):
+                spec = field.metadata.get("cli")
+                if spec is None:
+                    continue
+                assert spec["flag"] in flags, (
+                    f"{option_cls.__name__}.{field.name} declares "
+                    f"{spec['flag']} but the run parser lacks it"
+                )
+
+    def test_every_study_legacy_kwarg_is_a_declared_option_field(self):
+        declared = {
+            field.name
+            for _, option_cls, _, _ in OPTION_GROUPS
+            for field in dataclasses.fields(option_cls)
+        }
+        assert set(Study._LEGACY_OPTION_NAMES) <= declared
+
+    def test_parsed_flags_convert_into_the_api_options(self, tmp_path):
+        run = self._run_parser()
+        namespace = run.parse_args(
+            [
+                "--workers", "3",
+                "--backend", "thread",
+                "--shard-size", "40",
+                "--no-profile-cache",
+                "--fault-plan", "seed=3,crash=0.2",
+                "--max-shard-retries", "1",
+                "--on-shard-failure", "degrade",
+                "--checkpoint-dir", str(tmp_path / "ledger"),
+                "--no-metrics",
+                "--metrics-out", str(tmp_path / "m.json"),
+            ]
+        )
+        options = options_from_namespace(namespace)
+        assert options == RunOptions(
+            execution=ExecutionOptions(
+                workers=3, backend="thread", shard_size=40,
+                profile_cache=False,
+            ),
+            resilience=ResilienceOptions(
+                fault_plan=FaultPlan.from_spec("seed=3,crash=0.2"),
+                max_shard_retries=1,
+                on_shard_failure="degrade",
+            ),
+            durability=DurabilityOptions(
+                checkpoint_dir=str(tmp_path / "ledger")
+            ),
+            observability=ObservabilityOptions(
+                metrics=False, metrics_out=str(tmp_path / "m.json")
+            ),
+        )
+
+    def test_defaults_convert_to_inherit_everything(self):
+        run = self._run_parser()
+        assert options_from_namespace(run.parse_args([])) == RunOptions()
+
+    def test_flag_dest_matches_argparse(self):
+        assert _flag_dest("--no-profile-cache") == "no_profile_cache"
+        assert _flag_dest("--metrics-out") == "metrics_out"
+
+    def test_grouped_help_lists_all_four_groups(self):
+        help_text = self._run_parser().format_help()
+        for _, _, title, _ in OPTION_GROUPS:
+            assert title in help_text
+
+    def test_bad_flag_values_exit_2_via_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+        assert main(["run", "--workers", "0"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
