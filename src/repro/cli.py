@@ -140,6 +140,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_store(study.store, args.save_store)
         print(f"store saved to {args.save_store}", file=sys.stderr)
+    if args.export_json:
+        from .crawler.persistence import export_store_json
+
+        export_store_json(study.store, args.export_json)
+        print(f"store exported to {args.export_json}", file=sys.stderr)
     return 0
 
 
@@ -199,7 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a full study and print the report")
     run.add_argument("--population", type=int, default=2_000)
     run.add_argument("--seed", type=int, default=20230926)
-    run.add_argument("--save-store", metavar="FILE", default=None)
+    run.add_argument(
+        "--save-store",
+        metavar="FILE",
+        default=None,
+        help="persist the store as a canonical binary blob (format v2)",
+    )
+    run.add_argument(
+        "--export-json",
+        metavar="FILE",
+        default=None,
+        help="also export the store as checksummed canonical JSON "
+        "(the pre-v2 interchange document)",
+    )
     run.add_argument(
         "--full",
         action="store_true",

@@ -533,8 +533,8 @@ class Crawler:
         """Dispatch planned shards through a backend and fold results.
 
         Workers rebuild their ecosystems deterministically from the
-        scenario config and ship partial stores back through the
-        persistence dict codec; folding uses the store's exact merge.
+        scenario config and ship partial stores back as canonical
+        binary blobs; folding uses the store's exact merge.
         Failed shards are retried with bounded backoff and, once
         exhausted, dropped with accounting rather than aborting the run
         (see :mod:`repro.runtime.dispatch`).
@@ -558,7 +558,11 @@ class Crawler:
             get_backend,
         )
         from ..runtime.worker import shard_coverage_key
-        from .persistence import _FORMAT_VERSION, store_from_dict
+        from .persistence import (
+            BINARY_FORMAT_VERSION,
+            store_from_bytes,
+            store_from_dict,
+        )
 
         # Workers rebuild their crawler from the config, so explicit
         # incremental overrides must travel inside it.
@@ -578,7 +582,10 @@ class Crawler:
                 week_ordinals=tuple(w.ordinal for w in target_weeks),
                 domain_names=tuple(d.name for d in domains),
                 shards=shards,
-                store_format=_FORMAT_VERSION,
+                # Journal payloads embed binary store blobs, so a
+                # checkpoint's identity includes the blob format: an
+                # old-format checkpoint must be refused, not replayed.
+                store_format=BINARY_FORMAT_VERSION,
             )
             scan = ledger.open(manifest, resume=self.resume)
             if scan.resumed:
@@ -641,9 +648,17 @@ class Crawler:
         with ins.span("fold"):
             for index in sorted(payload_by_index):
                 payload = payload_by_index[index]
-                partial = store_from_dict(
-                    payload["store"], self.store.calendar, self.store.matcher
-                )
+                blob = payload["store"]
+                if isinstance(blob, (bytes, bytearray)):
+                    partial = store_from_bytes(
+                        bytes(blob), self.store.calendar, self.store.matcher
+                    )
+                else:
+                    # Dict payloads still fold — tests and external
+                    # tooling may synthesize them via store_to_dict.
+                    partial = store_from_dict(
+                        blob, self.store.calendar, self.store.matcher
+                    )
                 self.store.merge(partial)
                 ins.merge(Instruments.from_payload(payload["metrics"]))
 

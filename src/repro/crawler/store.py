@@ -7,6 +7,17 @@ tables and figures need, plus per-site version *trajectories* for the
 update-delay analysis — so memory stays proportional to (weeks ×
 libraries × versions) + (sites × libraries), not to page count.
 
+Since the columnar refactor the interior is packed: every recurring
+identifier is interned to a dense id in a run-wide
+:class:`~repro.crawler.symbols.SymbolTable`, weekly counters live in
+``array('q')`` columns indexed by those ids, and per-site structures
+(trajectories, Flash spans, untrusted-site sets) are packed int
+arrays keyed by rank.  The read surface is unchanged — the column
+containers present the same mapping protocol the analyses and the
+old nested-dict store exposed — and the exact-merge semantics the
+invariant suite enforces are preserved (merging remaps ids through
+symbols, never copies them).
+
 Vulnerability joins happen at ingest through a memoized
 :class:`~repro.vulndb.VersionMatcher`, under both the stated-CVE and the
 True-Vulnerable-Versions modes.
@@ -14,110 +25,122 @@ True-Vulnerable-Versions modes.
 
 from __future__ import annotations
 
-import collections
-import dataclasses
-from typing import DefaultDict, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import StoreError
 from ..fingerprint import PageProfile
 from ..timeline import StudyCalendar, Week
 from ..vulndb import MatchMode, VersionMatcher
 from ..webgen.domains import Domain
+from .columns import (
+    ColumnCounter,
+    FlashSpans,
+    IntCounter,
+    NestedPairCounter,
+    PackedTrajectories,
+    PackedWpTrajectories,
+    PairColumnCounter,
+    SiteSets,
+)
+from .symbols import SymbolTable
+
+#: Column fields of a WeekAggregate, merged generically (pure addition
+#: under symbol remapping).
+_COLUMN_FIELDS = (
+    "resource_counts",
+    "library_users",
+    "version_counts",
+    "internal_counts",
+    "external_counts",
+    "cdn_counts",
+    "cdn_hosts",
+    "crossorigin_values",
+    "wordpress_versions",
+    "wordpress_jquery_versions",
+    "library_wordpress_users",
+    "flash_by_tier",
+    "untrusted_hosts",
+)
+
+#: Plain-int fields of a WeekAggregate, merged by addition.
+_SCALAR_FIELDS = (
+    "sites_with_external",
+    "sites_external_no_integrity",
+    "integrity_inclusions",
+    "external_inclusions",
+    "wordpress_sites",
+    "flash_sites",
+    "flash_access_specified",
+    "flash_access_always",
+    "flash_visible",
+    "untrusted_sites",
+    "untrusted_sites_with_integrity",
+)
 
 
-@dataclasses.dataclass
 class WeekAggregate:
-    """Everything counted for one kept week."""
+    """Everything counted for one kept week, in packed columns.
 
-    week: Week
-    collected: int = 0
-    resource_counts: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: library -> sites using it this week
-    library_users: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: (library, version) -> site count
-    version_counts: DefaultDict[Tuple[str, str], int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: library -> inclusion-kind counters
-    internal_counts: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    external_counts: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    cdn_counts: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: library -> CDN host -> count
-    cdn_hosts: DefaultDict[str, DefaultDict[str, int]] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(
-            lambda: collections.defaultdict(int)
-        )
-    )
-    #: sites with >=1 external library inclusion / missing integrity
-    sites_with_external: int = 0
-    sites_external_no_integrity: int = 0
-    #: crossorigin values among integrity-carrying inclusions
-    crossorigin_values: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    integrity_inclusions: int = 0
-    external_inclusions: int = 0
-    #: WordPress
-    wordpress_sites: int = 0
-    wordpress_versions: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: jQuery versions observed on WordPress sites (Figure 7(b))
-    wordpress_jquery_versions: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: library -> sites using it that are WordPress sites
-    library_wordpress_users: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: Flash
-    flash_sites: int = 0
-    flash_by_tier: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    flash_access_specified: int = 0
-    flash_access_always: int = 0
-    flash_visible: int = 0
-    #: untrusted (VCS-hosted) scripts
-    untrusted_sites: int = 0
-    untrusted_sites_with_integrity: int = 0
-    untrusted_hosts: DefaultDict[str, int] = dataclasses.field(
-        default_factory=lambda: collections.defaultdict(int)
-    )
-    #: vulnerability aggregates per match mode
-    vulnerable_sites: Dict[MatchMode, int] = dataclasses.field(
-        default_factory=lambda: {MatchMode.CVE: 0, MatchMode.TVV: 0}
-    )
-    vuln_count_hist: Dict[MatchMode, DefaultDict[int, int]] = dataclasses.field(
-        default_factory=lambda: {
-            MatchMode.CVE: collections.defaultdict(int),
-            MatchMode.TVV: collections.defaultdict(int),
+    Counter attributes keep their historical names and mapping-style
+    read surface (``.get``/``.items``/``dict(...)``); underneath they
+    are dense-id-indexed ``array('q')`` columns over the owning
+    store's :class:`~repro.crawler.symbols.SymbolTable`.
+    """
+
+    __slots__ = ("week", "collected", "vulnerable_sites", "vuln_count_hist",
+                 "advisory_sites") + _COLUMN_FIELDS + _SCALAR_FIELDS
+
+    def __init__(self, week: Week, symbols: SymbolTable) -> None:
+        self.week = week
+        self.collected = 0
+        self.resource_counts = ColumnCounter(symbols.token)
+        #: library -> sites using it this week
+        self.library_users = ColumnCounter(symbols.library)
+        #: (library, version) -> site count
+        self.version_counts = PairColumnCounter(symbols.libver)
+        #: library -> inclusion-kind counters
+        self.internal_counts = ColumnCounter(symbols.library)
+        self.external_counts = ColumnCounter(symbols.library)
+        self.cdn_counts = ColumnCounter(symbols.library)
+        #: library -> CDN host -> count
+        self.cdn_hosts = NestedPairCounter(symbols.libhost)
+        #: crossorigin values among integrity-carrying inclusions
+        self.crossorigin_values = ColumnCounter(symbols.token)
+        #: WordPress
+        self.wordpress_versions = ColumnCounter(symbols.version)
+        #: jQuery versions observed on WordPress sites (Figure 7(b))
+        self.wordpress_jquery_versions = ColumnCounter(symbols.version)
+        #: library -> sites using it that are WordPress sites
+        self.library_wordpress_users = ColumnCounter(symbols.library)
+        #: Flash
+        self.flash_by_tier = ColumnCounter(symbols.token)
+        #: untrusted (VCS-hosted) scripts
+        self.untrusted_hosts = ColumnCounter(symbols.untrusted_host)
+        for name in _SCALAR_FIELDS:
+            setattr(self, name, 0)
+        #: vulnerability aggregates per match mode
+        self.vulnerable_sites: Dict[MatchMode, int] = {
+            MatchMode.CVE: 0,
+            MatchMode.TVV: 0,
         }
-    )
-    #: advisory id -> affected-site count, per mode
-    advisory_sites: Dict[MatchMode, DefaultDict[str, int]] = dataclasses.field(
-        default_factory=lambda: {
-            MatchMode.CVE: collections.defaultdict(int),
-            MatchMode.TVV: collections.defaultdict(int),
+        self.vuln_count_hist: Dict[MatchMode, IntCounter] = {
+            MatchMode.CVE: IntCounter(),
+            MatchMode.TVV: IntCounter(),
         }
-    )
+        #: advisory id -> affected-site count, per mode
+        self.advisory_sites: Dict[MatchMode, ColumnCounter] = {
+            MatchMode.CVE: ColumnCounter(symbols.advisory),
+            MatchMode.TVV: ColumnCounter(symbols.advisory),
+        }
 
     # ------------------------------------------------------------------
     def merge(self, other: "WeekAggregate") -> None:
         """Fold another aggregate for the *same week* into this one.
 
         Every field is a count over disjoint observation sets, so the
-        merge is pure addition — commutative and associative.
+        merge is pure addition — commutative and associative.  Columns
+        remap the other aggregate's symbol ids through their symbols,
+        so the two aggregates may belong to different stores.
         """
         if other.week.ordinal != self.week.ordinal:
             raise StoreError(
@@ -125,51 +148,16 @@ class WeekAggregate:
                 f"week {self.week.ordinal}"
             )
         self.collected += other.collected
-        for name in (
-            "resource_counts",
-            "library_users",
-            "version_counts",
-            "internal_counts",
-            "external_counts",
-            "cdn_counts",
-            "crossorigin_values",
-            "wordpress_versions",
-            "wordpress_jquery_versions",
-            "library_wordpress_users",
-            "flash_by_tier",
-            "untrusted_hosts",
-        ):
-            mine = getattr(self, name)
-            for key, count in getattr(other, name).items():
-                mine[key] += count
-        for library, hosts in other.cdn_hosts.items():
-            mine = self.cdn_hosts[library]
-            for host, count in hosts.items():
-                mine[host] += count
-        for name in (
-            "sites_with_external",
-            "sites_external_no_integrity",
-            "integrity_inclusions",
-            "external_inclusions",
-            "wordpress_sites",
-            "flash_sites",
-            "flash_access_specified",
-            "flash_access_always",
-            "flash_visible",
-            "untrusted_sites",
-            "untrusted_sites_with_integrity",
-        ):
+        for name in _COLUMN_FIELDS:
+            getattr(self, name).merge_from(getattr(other, name))
+        for name in _SCALAR_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for mode, count in other.vulnerable_sites.items():
             self.vulnerable_sites[mode] = self.vulnerable_sites.get(mode, 0) + count
         for mode, hist in other.vuln_count_hist.items():
-            mine_hist = self.vuln_count_hist[mode]
-            for vuln_count, sites in hist.items():
-                mine_hist[vuln_count] += sites
+            self.vuln_count_hist[mode].merge_from(hist)
         for mode, sites in other.advisory_sites.items():
-            mine_sites = self.advisory_sites[mode]
-            for identifier, count in sites.items():
-                mine_sites[identifier] += count
+            self.advisory_sites[mode].merge_from(sites)
 
 
 def _merge_changes(
@@ -182,6 +170,10 @@ def _merge_changes(
     order and dropping entries that repeat the previous version yields
     precisely the trajectory a serial pass over the union would have
     recorded (the shard planner guarantees the no-interleave invariant).
+
+    The packed trajectory containers implement the same algorithm over
+    id arrays; this decoded-form helper remains the reference (and is
+    exercised against them by the invariant suite).
     """
     merged: List[Tuple[int, str]] = []
     for change in sorted(a + b):
@@ -201,46 +193,63 @@ class ObservationStore:
     def __init__(self, calendar: StudyCalendar, matcher: VersionMatcher) -> None:
         self.calendar = calendar
         self.matcher = matcher
+        self.symbols = SymbolTable()
         self.weeks: Dict[int, WeekAggregate] = {
-            w.ordinal: WeekAggregate(week=w) for w in calendar
+            w.ordinal: WeekAggregate(w, self.symbols) for w in calendar
         }
         #: domain rank -> library -> [(week ordinal, version)] (changes only)
-        self.trajectories: Dict[int, Dict[str, List[Tuple[int, str]]]] = {}
+        self.trajectories = PackedTrajectories(self.symbols)
         #: domain rank -> [(week ordinal, wordpress version)]
-        self.wp_trajectories: Dict[int, List[Tuple[int, str]]] = {}
+        self.wp_trajectories = PackedWpTrajectories(self.symbols)
         #: domain rank -> (first flash week, last flash week)
-        self.flash_spans: Dict[int, Tuple[int, int]] = {}
+        self.flash_spans = FlashSpans()
         #: untrusted host -> set of site ranks (whole study; Table 6)
-        self.untrusted_site_sets: DefaultDict[str, Set[int]] = collections.defaultdict(set)
-        self.untrusted_url_counts: DefaultDict[str, int] = collections.defaultdict(int)
+        self.untrusted_site_sets = SiteSets(self.symbols.untrusted_host)
+        self.untrusted_url_counts = ColumnCounter(self.symbols.url)
         #: domain ranks ever observed (post-filter universe)
         self.observed_domains: Set[int] = set()
         self.total_observations = 0
+        #: memoized observed_versions payload; rebuilt lazily after any
+        #: ingest/merge invalidation (one week scan per rebuild instead
+        #: of one per reporting call)
+        self._versions_cache: Optional[Dict[str, List[str]]] = None
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def ingest(self, domain: Domain, week: Week, profile: PageProfile) -> None:
         """Record one successfully fingerprinted landing page."""
-        agg = self.weeks.get(week.ordinal)
+        ordinal = week.ordinal
+        agg = self.weeks.get(ordinal)
         if agg is None:
-            raise StoreError(f"week ordinal {week.ordinal} not in calendar")
+            raise StoreError(f"week ordinal {ordinal} not in calendar")
+        rank = domain.rank
+        symbols = self.symbols
+        lib_intern = symbols.library.intern
+        ver_intern = symbols.version.intern
+        tok_intern = symbols.token.intern
+        libver = symbols.libver
+        libhost = symbols.libhost
         self.total_observations += 1
-        self.observed_domains.add(domain.rank)
+        self._versions_cache = None
+        self.observed_domains.add(rank)
         agg.collected += 1
 
+        resource_counts = agg.resource_counts
         for resource in profile.resource_types:
-            agg.resource_counts[resource] += 1
+            resource_counts.inc_id(tok_intern(resource))
 
         is_wordpress = profile.uses_wordpress
         if is_wordpress:
             agg.wordpress_sites += 1
-            agg.wordpress_versions[profile.wordpress_version or "?"] += 1
-            changes = self.wp_trajectories.setdefault(domain.rank, [])
-            if not changes or changes[-1][1] != profile.wordpress_version:
-                changes.append((week.ordinal, profile.wordpress_version or "?"))
+            # Normalize the unreadable-version fallback *before* the
+            # trajectory dedup compare, so a site whose version stays
+            # unreadable records one "?" change, not one per week.
+            wp_id = ver_intern(profile.wordpress_version or "?")
+            agg.wordpress_versions.inc_id(wp_id)
+            self.wp_trajectories.observe(rank, ordinal, wp_id)
 
-        seen_libraries: Set[str] = set()
+        seen_libraries: Set[int] = set()
         has_external = False
         has_external_no_integrity = False
         cve_vulns = 0
@@ -250,24 +259,28 @@ class ObservationStore:
 
         for detection in profile.libraries:
             library = detection.library
-            if library not in seen_libraries:
-                seen_libraries.add(library)
-                agg.library_users[library] += 1
+            lib_id = lib_intern(library)
+            if lib_id not in seen_libraries:
+                seen_libraries.add(lib_id)
+                agg.library_users.inc_id(lib_id)
                 if is_wordpress:
-                    agg.library_wordpress_users[library] += 1
+                    agg.library_wordpress_users.inc_id(lib_id)
             if detection.internal:
-                agg.internal_counts[library] += 1
+                agg.internal_counts.inc_id(lib_id)
             else:
-                agg.external_counts[library] += 1
+                agg.external_counts.inc_id(lib_id)
                 agg.external_inclusions += 1
                 has_external = True
                 if detection.via_cdn:
-                    agg.cdn_counts[library] += 1
-                    agg.cdn_hosts[library][detection.cdn_host or "?"] += 1
+                    agg.cdn_counts.inc_id(lib_id)
+                    host_id = symbols.cdn_host.intern(detection.cdn_host or "?")
+                    agg.cdn_hosts.inc_id(libhost.intern_ids(lib_id, host_id))
                 if detection.has_integrity:
                     agg.integrity_inclusions += 1
                     if detection.crossorigin is not None:
-                        agg.crossorigin_values[detection.crossorigin] += 1
+                        agg.crossorigin_values.inc_id(
+                            tok_intern(detection.crossorigin)
+                        )
                 else:
                     has_external_no_integrity = True
 
@@ -282,15 +295,12 @@ class ObservationStore:
                 cve_ids.update(h.identifier for h in cve_hits)
                 tvv_ids.update(h.identifier for h in tvv_hits)
                 continue
-            agg.version_counts[(library, version)] += 1
+            ver_id = ver_intern(version)
+            agg.version_counts.inc_id(libver.intern_ids(lib_id, ver_id))
             if is_wordpress and library == "jquery":
-                agg.wordpress_jquery_versions[version] += 1
+                agg.wordpress_jquery_versions.inc_id(ver_id)
 
-            trajectory = self.trajectories.setdefault(domain.rank, {}).setdefault(
-                library, []
-            )
-            if not trajectory or trajectory[-1][1] != version:
-                trajectory.append((week.ordinal, version))
+            self.trajectories.observe(rank, lib_id, ordinal, ver_id)
 
             cve_hits = self.matcher.match(library, version, MatchMode.CVE)
             tvv_hits = self.matcher.match(library, version, MatchMode.TVV)
@@ -304,25 +314,24 @@ class ObservationStore:
             if has_external_no_integrity:
                 agg.sites_external_no_integrity += 1
 
+        adv_intern = symbols.advisory.intern
+        cve_advisories = agg.advisory_sites[MatchMode.CVE]
         for identifier in cve_ids:
-            agg.advisory_sites[MatchMode.CVE][identifier] += 1
+            cve_advisories.inc_id(adv_intern(identifier))
+        tvv_advisories = agg.advisory_sites[MatchMode.TVV]
         for identifier in tvv_ids:
-            agg.advisory_sites[MatchMode.TVV][identifier] += 1
+            tvv_advisories.inc_id(adv_intern(identifier))
         if cve_vulns:
             agg.vulnerable_sites[MatchMode.CVE] += 1
         if tvv_vulns:
             agg.vulnerable_sites[MatchMode.TVV] += 1
-        agg.vuln_count_hist[MatchMode.CVE][cve_vulns] += 1
-        agg.vuln_count_hist[MatchMode.TVV][tvv_vulns] += 1
+        agg.vuln_count_hist[MatchMode.CVE].inc(cve_vulns)
+        agg.vuln_count_hist[MatchMode.TVV].inc(tvv_vulns)
 
         if profile.uses_flash:
             agg.flash_sites += 1
-            agg.flash_by_tier[domain.tier] += 1
-            span = self.flash_spans.get(domain.rank)
-            if span is None:
-                self.flash_spans[domain.rank] = (week.ordinal, week.ordinal)
-            else:
-                self.flash_spans[domain.rank] = (span[0], week.ordinal)
+            agg.flash_by_tier.inc_id(tok_intern(domain.tier))
+            self.flash_spans.observe(rank, ordinal)
             for embed in profile.flash_embeds:
                 if embed.script_access_specified:
                     agg.flash_access_specified += 1
@@ -334,12 +343,14 @@ class ObservationStore:
 
         if profile.untrusted_scripts:
             agg.untrusted_sites += 1
+            uhost_intern = symbols.untrusted_host.intern
+            url_intern = symbols.url.intern
             any_integrity = False
             for entry in profile.untrusted_scripts:
                 host, url = entry[0], entry[1]
-                agg.untrusted_hosts[host] += 1
-                self.untrusted_site_sets[host].add(domain.rank)
-                self.untrusted_url_counts[url] += 1
+                agg.untrusted_hosts.inc_id(uhost_intern(host))
+                self.untrusted_site_sets.add_id(uhost_intern(host), rank)
+                self.untrusted_url_counts.inc_id(url_intern(url))
                 if len(entry) > 2 and entry[2]:
                     any_integrity = True
             if any_integrity:
@@ -356,6 +367,8 @@ class ObservationStore:
         equal — aggregate for aggregate, trajectory for trajectory — to
         the store a serial crawl over the union would have produced.
         The operation is associative, so shards may arrive in any order.
+        The other store's symbol ids are remapped through this store's
+        table at every step (shard-local id assignments never leak).
 
         Requirements (guaranteed by the shard planner): the two stores
         share the same calendar, no ``(week, domain)`` page observation
@@ -371,40 +384,17 @@ class ObservationStore:
             raise StoreError("cannot merge stores with different calendars")
 
         self.total_observations += other.total_observations
+        self._versions_cache = None
         self.observed_domains |= other.observed_domains
 
         for ordinal, agg in other.weeks.items():
             self.weeks[ordinal].merge(agg)
 
-        for rank, libs in other.trajectories.items():
-            target = self.trajectories.setdefault(rank, {})
-            for library, changes in libs.items():
-                existing = target.get(library)
-                if existing is None:
-                    target[library] = list(changes)
-                else:
-                    target[library] = _merge_changes(existing, changes)
-        for rank, changes in other.wp_trajectories.items():
-            existing = self.wp_trajectories.get(rank)
-            if existing is None:
-                self.wp_trajectories[rank] = list(changes)
-            else:
-                self.wp_trajectories[rank] = _merge_changes(existing, changes)
-
-        for rank, span in other.flash_spans.items():
-            existing = self.flash_spans.get(rank)
-            if existing is None:
-                self.flash_spans[rank] = span
-            else:
-                self.flash_spans[rank] = (
-                    min(existing[0], span[0]),
-                    max(existing[1], span[1]),
-                )
-
-        for host, sites in other.untrusted_site_sets.items():
-            self.untrusted_site_sets[host] |= sites
-        for url, count in other.untrusted_url_counts.items():
-            self.untrusted_url_counts[url] += count
+        self.trajectories.merge_from(other.trajectories)
+        self.wp_trajectories.merge_from(other.wp_trajectories)
+        self.flash_spans.merge_from(other.flash_spans)
+        self.untrusted_site_sets.merge_from(other.untrusted_site_sets)
+        self.untrusted_url_counts.merge_from(other.untrusted_url_counts)
         return self
 
     # ------------------------------------------------------------------
@@ -426,20 +416,49 @@ class ObservationStore:
 
     def version_series(self, library: str, version: str) -> List[int]:
         """Weekly site counts for one (library, version)."""
-        key = (library, version)
-        return [agg.version_counts.get(key, 0) for agg in self.ordered_weeks()]
+        pair_id = self.symbols.libver.lookup((library, version))
+        if pair_id is None:
+            return [0 for _ in self.ordered_weeks()]
+        return [
+            agg.version_counts.get_id(pair_id) for agg in self.ordered_weeks()
+        ]
 
     def library_series(self, library: str) -> List[int]:
-        return [agg.library_users.get(library, 0) for agg in self.ordered_weeks()]
+        lib_id = self.symbols.library.lookup(library)
+        if lib_id is None:
+            return [0 for _ in self.ordered_weeks()]
+        return [agg.library_users.get_id(lib_id) for agg in self.ordered_weeks()]
 
     def observed_versions(self, library: str) -> List[str]:
-        """All versions of a library ever observed (sorted by count desc)."""
-        totals: DefaultDict[str, int] = collections.defaultdict(int)
+        """All versions of a library ever observed (sorted by count desc).
+
+        Memoized: the first call after an ingest/merge scans the weekly
+        version columns once and caches totals for *every* library, so
+        the per-library reporting loop does not rescan 201 weeks per
+        call.
+        """
+        if self._versions_cache is None:
+            self._rebuild_versions_cache()
+        return list(self._versions_cache.get(library, ()))
+
+    def _rebuild_versions_cache(self) -> None:
+        totals: Dict[int, int] = {}
         for agg in self.ordered_weeks():
-            for (lib, version), count in agg.version_counts.items():
-                if lib == library:
-                    totals[version] += count
-        return [v for v, _ in sorted(totals.items(), key=lambda kv: -kv[1])]
+            for pair_id, count in agg.version_counts.items_ids():
+                totals[pair_id] = totals.get(pair_id, 0) + count
+        libver = self.symbols.libver
+        lib_decode = self.symbols.library.decode
+        ver_decode = self.symbols.version.decode
+        per_library: Dict[str, List[Tuple[str, int]]] = {}
+        for pair_id, count in totals.items():
+            lib_id, ver_id = libver.component_ids(pair_id)
+            per_library.setdefault(lib_decode(lib_id), []).append(
+                (ver_decode(ver_id), count)
+            )
+        self._versions_cache = {
+            library: [v for v, _ in sorted(pairs, key=lambda kv: -kv[1])]
+            for library, pairs in per_library.items()
+        }
 
     def average_collected(self) -> float:
         return self.average(lambda a: a.collected)

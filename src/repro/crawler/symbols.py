@@ -1,0 +1,186 @@
+"""Run-wide symbol interning for the columnar observation store.
+
+At population 10⁶ the store cannot afford a Python string (or a
+``(library, version)`` tuple) per counter key per week.  A
+:class:`SymbolTable` interns every recurring identifier — library
+names, version strings, CDN hosts, untrusted hosts, advisory ids,
+misc tokens, untrusted URLs — to a dense integer id, so the weekly
+aggregates can live in packed ``array`` columns indexed by id, and the
+per-site trajectories can store one small int per change instead of a
+tuple of objects.
+
+Determinism rule
+----------------
+Runtime ids are assigned in first-intern order, which follows the
+ingest/merge/load order of the owning store and therefore *differs*
+between a serial store and a sharded-and-merged one.  Two things keep
+that harmless:
+
+* **merge remaps exactly** — folding shard B into A never copies B's
+  ids; every id is decoded to its symbol and re-interned in A, so a
+  merged store is logically identical to a serial one regardless of
+  arrival order;
+* **the canonical binary encoding re-canonicalizes** — at
+  serialization time ids are remapped to the sorted order of each
+  domain's symbol set, so equal stores produce byte-identical files
+  no matter what runtime order their tables grew in (the binary
+  analogue of ``json.dumps(..., sort_keys=True)``).
+
+Pair domains (``libver``, ``libhost``) intern *id pairs* of their
+component domains, packed into one integer key, so the ingest hot path
+never builds a tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Bit width of the second component in a packed pair key.  2^21
+#: distinct versions/hosts is far beyond any run; asserted at intern.
+_PAIR_SHIFT = 21
+_PAIR_LIMIT = 1 << _PAIR_SHIFT
+
+
+class SymbolDomain:
+    """One namespace of interned strings (dense ids, insertion order)."""
+
+    __slots__ = ("name", "_ids", "_symbols")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ids: Dict[str, int] = {}
+        self._symbols: List[str] = []
+
+    def intern(self, symbol: str) -> int:
+        """The dense id for ``symbol``, assigning the next id if new."""
+        ids = self._ids
+        found = ids.get(symbol)
+        if found is not None:
+            return found
+        new_id = len(self._symbols)
+        ids[symbol] = new_id
+        self._symbols.append(symbol)
+        return new_id
+
+    def lookup(self, symbol: str) -> Optional[int]:
+        """The id for ``symbol``, or ``None`` — never interns."""
+        return self._ids.get(symbol)
+
+    def decode(self, symbol_id: int) -> str:
+        return self._symbols[symbol_id]
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    @property
+    def symbols(self) -> List[str]:
+        """All interned symbols, in id order (do not mutate)."""
+        return self._symbols
+
+    def canonical_order(self) -> List[int]:
+        """Runtime ids sorted by symbol — the serialization order."""
+        return sorted(range(len(self._symbols)), key=self._symbols.__getitem__)
+
+
+class PairDomain:
+    """Interned pairs over two component domains, packed-int keyed."""
+
+    __slots__ = ("name", "a", "b", "_ids", "_pairs")
+
+    def __init__(self, name: str, a: SymbolDomain, b: SymbolDomain) -> None:
+        self.name = name
+        self.a = a
+        self.b = b
+        self._ids: Dict[int, int] = {}
+        self._pairs: List[int] = []  # packed (a_id << _PAIR_SHIFT) | b_id
+
+    def intern_ids(self, a_id: int, b_id: int) -> int:
+        """Dense pair id for component ids already interned in a/b."""
+        if b_id >= _PAIR_LIMIT:  # pragma: no cover - 2M+ symbols
+            raise OverflowError(
+                f"domain {self.b.name!r} exceeded {_PAIR_LIMIT} symbols"
+            )
+        key = (a_id << _PAIR_SHIFT) | b_id
+        ids = self._ids
+        found = ids.get(key)
+        if found is not None:
+            return found
+        new_id = len(self._pairs)
+        ids[key] = new_id
+        self._pairs.append(key)
+        return new_id
+
+    def intern(self, pair: Tuple[str, str]) -> int:
+        return self.intern_ids(self.a.intern(pair[0]), self.b.intern(pair[1]))
+
+    def lookup(self, pair: Tuple[str, str]) -> Optional[int]:
+        a_id = self.a.lookup(pair[0])
+        if a_id is None:
+            return None
+        b_id = self.b.lookup(pair[1])
+        if b_id is None:
+            return None
+        return self._ids.get((a_id << _PAIR_SHIFT) | b_id)
+
+    def component_ids(self, pair_id: int) -> Tuple[int, int]:
+        packed = self._pairs[pair_id]
+        return packed >> _PAIR_SHIFT, packed & (_PAIR_LIMIT - 1)
+
+    def decode(self, pair_id: int) -> Tuple[str, str]:
+        a_id, b_id = self.component_ids(pair_id)
+        return self.a.decode(a_id), self.b.decode(b_id)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def canonical_order(self) -> List[int]:
+        """Pair ids sorted by decoded ``(a, b)`` symbol tuples."""
+        return sorted(range(len(self._pairs)), key=self.decode)
+
+
+#: Domain names, in the order the binary format serializes them.
+STRING_DOMAINS = (
+    "library",
+    "version",
+    "cdn_host",
+    "untrusted_host",
+    "token",
+    "advisory",
+    "url",
+)
+PAIR_DOMAINS = (
+    ("libver", "library", "version"),
+    ("libhost", "library", "cdn_host"),
+)
+
+
+class SymbolTable:
+    """The store-wide intern table: one domain per identifier kind.
+
+    Attributes (all :class:`SymbolDomain` unless noted):
+        library: Library names (``jquery``...).
+        version: Version strings — library *and* WordPress versions.
+        cdn_host: CDN hostnames.
+        untrusted_host: VCS-hosting hostnames.
+        token: Small enumerations (resource types, crossorigin values,
+            domain tiers).
+        advisory: Advisory identifiers (``CVE-...`` / ``TVV-...``).
+        url: Untrusted script URLs.
+        libver (:class:`PairDomain`): ``(library, version)`` pairs.
+        libhost (:class:`PairDomain`): ``(library, cdn_host)`` pairs.
+    """
+
+    __slots__ = STRING_DOMAINS + tuple(name for name, _, _ in PAIR_DOMAINS)
+
+    def __init__(self) -> None:
+        for name in STRING_DOMAINS:
+            setattr(self, name, SymbolDomain(name))
+        for name, a, b in PAIR_DOMAINS:
+            setattr(self, name, PairDomain(name, getattr(self, a), getattr(self, b)))
+
+    def domains(self) -> Iterable[object]:
+        """Every domain, string domains first, serialization order."""
+        for name in STRING_DOMAINS:
+            yield getattr(self, name)
+        for name, _, _ in PAIR_DOMAINS:
+            yield getattr(self, name)

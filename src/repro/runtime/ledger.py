@@ -9,7 +9,7 @@ This module makes whole-process death survivable:
   ordinals, retained-domain digest, store format, and the full shard
   plan (with each shard's coverage key);
 * a **write-ahead journal** (``journal/shard-*.wal``) receives every
-  completed shard's payload — the same dict codec the dispatch fold
+  completed shard's payload — the exact frame the dispatch fold
   consumes — checksummed with sha256 and written with fsync + atomic
   rename *inside the worker*, so a payload is durable the moment the
   dispatcher could ever see it;
@@ -19,11 +19,14 @@ This module makes whole-process death survivable:
   re-executed rather than silently trusted.
 
 Each journal entry is one JSON header line (format version, shard
-index, coverage key, sha256) followed by the zlib-compressed canonical
-JSON payload.  The checksum covers the compressed bytes exactly as they
-sit on disk, so verification needs no re-serialization, and the
-repetitive store JSON compresses ~40×: journaling costs a few percent
-of crawl wall-time rather than tens.
+index, coverage key, sha256) followed by the format-3 body: a u32
+length prefix, the shard store's canonical binary blob (format v2,
+already zlib-sectioned — see :mod:`repro.crawler.persistence`), and
+the zlib-compressed canonical JSON of the remaining payload fields
+("metrics", counters).  The checksum covers the body bytes exactly as
+they sit on disk, so verification needs no re-serialization, and the
+store blob is journaled verbatim — no re-encode on either side of the
+write-ahead boundary.
 
 Run-directory layout::
 
@@ -52,6 +55,7 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import time
 import zlib
 from pathlib import Path
@@ -68,19 +72,25 @@ from .sharding import Shard
 from .worker import ShardTask, execute_shard_safely, shard_coverage_key
 
 #: Version of the manifest + journal-entry schema.  Format 2 (PR-5)
-#: requires every journaled payload to carry its in-worker ``"metrics"``
-#: capture; format-1 entries are quarantined and their shards re-run, so
-#: resumed folds never mix metered and unmetered shards.
-LEDGER_FORMAT = 2
+#: required every journaled payload to carry its in-worker ``"metrics"``
+#: capture.  Format 3 (PR-6) frames the shard store as its canonical
+#: binary blob (length-prefixed, journaled verbatim) with only the
+#: metadata fields as compressed JSON.  Entries of older formats are
+#: quarantined and their shards re-run — the PR-5 precedent: a resumed
+#: fold never mixes entry generations.
+LEDGER_FORMAT = 3
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_DIRNAME = "journal"
 QUARANTINE_DIRNAME = "quarantine"
 
-#: zlib level for journal-entry payload bodies.  Level 1 already shrinks
-#: the highly repetitive store JSON ~40× at ~0.2 ms per shard; higher
-#: levels buy little and cost worker time.
+#: zlib level for the journal entry's metadata JSON (the store blob is
+#: already compressed by the binary codec and is journaled verbatim).
+#: Level 1 is plenty for the small, repetitive metrics document.
 JOURNAL_COMPRESSION = 1
+
+#: u32 length prefix framing the store blob inside a format-3 body.
+_STORE_LEN = struct.Struct("<I")
 
 
 # ----------------------------------------------------------------------
@@ -431,15 +441,28 @@ class RunLedger:
         Called from inside the worker (any backend) the moment the shard
         finishes, *before* the dispatcher can fold the payload — the
         write-ahead property.  The entry is a JSON header line followed
-        by the zlib-compressed canonical payload JSON; the header's
-        sha256 covers the compressed bytes exactly as written, and the
-        atomic rename means a crash at any point leaves either no entry
-        or a complete, verifiable one.
+        by the format-3 body: u32 store-blob length, the store's
+        canonical binary bytes verbatim, then the zlib-compressed
+        canonical JSON of the remaining payload fields.  The header's
+        sha256 covers the body bytes exactly as written, and the atomic
+        rename means a crash at any point leaves either no entry or a
+        complete, verifiable one.  The whole body is a deterministic
+        function of the payload, so re-journaling a validated payload
+        reproduces the original entry byte for byte.
 
         Returns the entry size in bytes.
         """
-        body = zlib.compress(
-            _canonical(payload).encode("utf-8"), JOURNAL_COMPRESSION
+        store_blob = payload["store"]
+        if not isinstance(store_blob, (bytes, bytearray)):
+            raise TypeError(
+                "journal payloads carry the store as binary blob bytes "
+                f"(store_to_bytes), got {type(store_blob).__name__}"
+            )
+        meta = {key: value for key, value in payload.items() if key != "store"}
+        body = (
+            _STORE_LEN.pack(len(store_blob))
+            + bytes(store_blob)
+            + zlib.compress(_canonical(meta).encode("utf-8"), JOURNAL_COMPRESSION)
         )
         header = json.dumps(
             {
@@ -520,24 +543,36 @@ class RunLedger:
             return None
         if entry_file.name != f"shard-{index:05d}.wal":
             return None
-        # The checksum covers the compressed payload bytes exactly as
-        # they sit on disk — truncation and bit-flips fail here without
-        # any decompression or re-serialization.
+        # The checksum covers the body bytes exactly as they sit on
+        # disk — truncation and bit-flips (in the store blob or the
+        # metadata alike) fail here without any parsing.
         if hashlib.sha256(body).hexdigest() != entry.get("sha256"):
             return None
+        # Format-3 body: u32 store-blob length, store bytes verbatim,
+        # compressed metadata JSON.
+        if len(body) < _STORE_LEN.size:
+            return None
+        (store_len,) = _STORE_LEN.unpack_from(body)
+        meta_start = _STORE_LEN.size + store_len
+        if meta_start > len(body):
+            return None
         try:
-            payload = json.loads(zlib.decompress(body).decode("utf-8"))
+            meta = json.loads(
+                zlib.decompress(body[meta_start:]).decode("utf-8")
+            )
         except (zlib.error, UnicodeDecodeError, ValueError):
             return None
-        if not isinstance(payload, dict) or not payload.get("ok"):
+        if not isinstance(meta, dict) or not meta.get("ok"):
             return None
-        if "store" not in payload:
+        if "store" in meta:  # a store field outside the frame is foreign
             return None
-        # Format 2: the in-worker metrics capture must ride with the
+        # Format 2+: the in-worker metrics capture must ride with the
         # store — a payload without it cannot participate in the exact
         # telemetry fold, so its shard is re-executed instead.
-        if not isinstance(payload.get("metrics"), dict):
+        if not isinstance(meta.get("metrics"), dict):
             return None
+        payload = dict(meta)
+        payload["store"] = body[_STORE_LEN.size : meta_start]
         entry["payload"] = payload
         return entry
 

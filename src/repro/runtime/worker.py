@@ -7,10 +7,14 @@ ordinals and domain names, and the vulnerability database.  That makes
 the task picklable, so the same :func:`execute_shard` function serves
 the serial, thread, and process backends unchanged.
 
-Results travel back as the persistence layer's dict codec
-(:func:`~repro.crawler.persistence.store_to_dict`) plus the shard's page
-and failure counters; the dispatching crawler folds the partial stores
-with :meth:`~repro.crawler.ObservationStore.merge`.
+Results travel back as the persistence layer's binary store codec
+(:func:`~repro.crawler.persistence.store_to_bytes`) plus the shard's
+page and failure counters; the dispatching crawler decodes the partial
+stores and folds them with
+:meth:`~repro.crawler.ObservationStore.merge`.  Bytes beat a dict here
+twice over: pickling one ``bytes`` object across the process boundary
+is far cheaper than a deep dict of per-week counters, and the blob is
+already the exact frame the run ledger journals.
 
 Ecosystem construction is the expensive part, so each worker thread or
 process keeps a small cache keyed by (thread, config): consecutive
@@ -140,10 +144,10 @@ def _ecosystem_for(config: ScenarioConfig) -> WebEcosystem:
 
 
 def execute_shard(task: ShardTask) -> Dict[str, object]:
-    """Crawl one shard into a fresh store and return its dict payload.
+    """Crawl one shard into a fresh store and return its payload.
 
     Returns:
-        ``{"store": <store_to_dict payload>, "pages": int,
+        ``{"store": <store_to_bytes blob>, "pages": int,
         "failures": int, "cache_hits": int, "cache_misses": int,
         "metrics": <Instruments.to_payload dict>}``.  The metrics are
         captured here, in-worker, alongside the shard's store — they
@@ -159,7 +163,7 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
     # Imported here (not at module top) to keep crawler <-> runtime
     # imports acyclic.
     from ..crawler.crawl import Crawler
-    from ..crawler.persistence import store_to_dict
+    from ..crawler.persistence import store_to_bytes
     from ..crawler.store import ObservationStore
     from ..vulndb import VersionMatcher, default_database
 
@@ -222,7 +226,7 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
     instruments.inc("shards.completed")
     return {
         "ok": True,
-        "store": store_to_dict(store),
+        "store": store_to_bytes(store),
         "pages": instruments.counter("crawl.pages"),
         "failures": instruments.counter("crawl.fetch_failures"),
         "cache_hits": instruments.counter("cache.hits"),

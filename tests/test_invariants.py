@@ -36,7 +36,11 @@ import proptest
 from repro import FaultPlan, ScenarioConfig
 from repro.config import AccessibilityConfig, ExecutionConfig, IncrementalConfig
 from repro.crawler import Crawler, ObservationStore
-from repro.crawler.persistence import store_from_dict, store_to_dict
+from repro.crawler.persistence import (
+    store_from_dict,
+    store_to_bytes,
+    store_to_dict,
+)
 from repro.vulndb import VersionMatcher, default_database
 from repro.webgen import WebEcosystem
 
@@ -516,6 +520,181 @@ class TestMetricsIdentity:
                 == report1.metrics.canonical_json()
             )
             assert report2.metrics == report1.metrics
+
+        proptest.forall(prop)
+
+
+class TestBinaryEncodingIdentity:
+    """store_to_bytes is canonical: equal stores, equal blobs.
+
+    The dict-based contracts above compare decoded structures; these
+    compare the *binary encoding itself* across every execution shape.
+    A serial store and a sharded-and-merged one intern symbols in
+    different orders, so blob equality proves the canonical remap is
+    airtight, not just the logical content.
+    """
+
+    def _crawl_store(self, config, weeks, **kwargs):
+        crawler = Crawler(
+            WebEcosystem(config),
+            mode=kwargs.pop("mode", "manifest"),
+            apply_filter=False,
+            execution=ExecutionConfig(
+                backend=kwargs.pop("backend", "serial"),
+                workers=kwargs.pop("workers", 1),
+                shard_size=kwargs.pop("shard_size", 0),
+            ),
+            incremental=(
+                IncrementalConfig(profile_cache=kwargs["profile_cache"])
+                if "profile_cache" in kwargs
+                else None
+            ),
+            checkpoint_dir=kwargs.pop("checkpoint_dir", None),
+            resume=kwargs.pop("resume", False),
+        )
+        crawler.run(weeks=weeks)
+        return crawler.store
+
+    def test_blob_identical_across_backends_shards_and_cache(self):
+        def prop(rng, seed):
+            config = ScenarioConfig(population=rng.choice((30, 40)), seed=seed)
+            weeks = config.calendar.weeks[: rng.randint(3, 4)]
+            baseline = store_to_bytes(self._crawl_store(config, weeks))
+            for backend in ("serial", "thread", "process"):
+                blob = store_to_bytes(
+                    self._crawl_store(
+                        config,
+                        weeks,
+                        backend=backend,
+                        workers=2,
+                        shard_size=rng.choice((0, rng.randint(10, 50))),
+                        profile_cache=rng.choice((True, False)),
+                    )
+                )
+                assert blob == baseline, f"{backend} blob diverged"
+
+        proptest.forall(prop)
+
+    def test_blob_identical_after_kill_and_resume(self, tmp_path):
+        def prop(rng, seed):
+            config = ScenarioConfig(population=30, seed=seed)
+            weeks = config.calendar.weeks[:3]
+            shard_size = rng.randint(15, 50)
+            baseline = store_to_bytes(
+                self._crawl_store(
+                    config,
+                    weeks,
+                    backend="thread",
+                    workers=2,
+                    shard_size=shard_size,
+                )
+            )
+            root = tmp_path / f"bin-{seed}"
+            self._crawl_store(
+                config,
+                weeks,
+                backend="thread",
+                workers=2,
+                shard_size=shard_size,
+                checkpoint_dir=str(root),
+            )
+            # "Kill": delete a random subset of journal entries, then
+            # resume on a random backend.
+            for entry in sorted((root / "journal").glob("shard-*.wal")):
+                if rng.random() < 0.5:
+                    entry.unlink()
+            resumed = self._crawl_store(
+                config,
+                weeks,
+                backend=rng.choice(("serial", "thread", "process")),
+                workers=2,
+                checkpoint_dir=str(root),
+                resume=True,
+            )
+            assert store_to_bytes(resumed) == baseline
+
+        proptest.forall(prop)
+
+
+class TestTrajectoryMergePartitions:
+    """Satellite: trajectory merge is partition-invariant on the bytes.
+
+    Synthetic per-site version histories — mixing unreadable versions
+    (``None`` library versions, empty WordPress versions, both of which
+    exercise the fallback paths) with real ones — are ingested serially
+    and as randomly sized contiguous week shards merged in random
+    order.  The binary encodings must match exactly.
+    """
+
+    _WP_CHOICES = (None, "", "5.1", "5.2")
+    _LIB_CHOICES = (None, "1.12.4", "3.5.1")
+
+    def _profiles(self, rng, n_sites, n_weeks):
+        from repro.fingerprint.profile import LibraryDetection, PageProfile
+
+        grid = {}
+        for rank in range(1, n_sites + 1):
+            for w in range(n_weeks):
+                libraries = ()
+                if rng.random() < 0.8:
+                    libraries = (
+                        LibraryDetection(
+                            library="jquery",
+                            version=rng.choice(self._LIB_CHOICES),
+                            source_url="/js/jquery.js",
+                            host=None,
+                            external=False,
+                        ),
+                    )
+                grid[(rank, w)] = PageProfile(
+                    page_host=f"site{rank}.example",
+                    libraries=libraries,
+                    wordpress_version=rng.choice(self._WP_CHOICES),
+                )
+        return grid
+
+    def test_week_partitions_merge_to_identical_bytes(self):
+        from repro.webgen.domains import Domain, Reachability
+
+        def prop(rng, seed):
+            config = ScenarioConfig(population=10, seed=1)
+            n_weeks = rng.randint(4, 6)
+            n_sites = rng.randint(3, 6)
+            weeks = config.calendar.weeks[:n_weeks]
+            domains = {
+                rank: Domain(
+                    rank=rank,
+                    name=f"site{rank}.example",
+                    reachability=Reachability.STABLE,
+                )
+                for rank in range(1, n_sites + 1)
+            }
+            grid = self._profiles(rng, n_sites, n_weeks)
+
+            serial = _fresh_store(config)
+            for w, week in enumerate(weeks):
+                for rank in range(1, n_sites + 1):
+                    serial.ingest(domains[rank], week, grid[(rank, w)])
+            baseline = store_to_bytes(serial)
+
+            # Random contiguous week partition, merged in random order.
+            cuts = sorted(
+                rng.sample(range(1, n_weeks), rng.randint(1, n_weeks - 1))
+            )
+            spans = list(zip([0] + cuts, cuts + [n_weeks]))
+            partials = []
+            for lo, hi in spans:
+                shard = _fresh_store(config)
+                for w in range(lo, hi):
+                    for rank in range(1, n_sites + 1):
+                        shard.ingest(domains[rank], weeks[w], grid[(rank, w)])
+                partials.append(shard)
+            rng.shuffle(partials)
+            merged = _fresh_store(config)
+            for partial in partials:
+                merged.merge(partial)
+            assert store_to_bytes(merged) == baseline
+            assert store_to_dict(merged) == store_to_dict(serial)
 
         proptest.forall(prop)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import struct
 import subprocess
 import sys
 import zlib
@@ -84,6 +85,23 @@ def _write_entry(entry_file: Path, header: dict, body: bytes) -> None:
     )
 
 
+def _split_body(body: bytes):
+    """Unframe a format-3 body into (store blob, metadata dict)."""
+    (store_len,) = struct.unpack_from("<I", body)
+    store_blob = body[4 : 4 + store_len]
+    meta = json.loads(zlib.decompress(body[4 + store_len :]).decode("utf-8"))
+    return store_blob, meta
+
+
+def _build_body(store_blob: bytes, meta: dict) -> bytes:
+    """Frame a format-3 body from its parts (mirrors RunLedger.journal)."""
+    return (
+        struct.pack("<I", len(store_blob))
+        + store_blob
+        + zlib.compress(json.dumps(meta, sort_keys=True).encode("utf-8"), 1)
+    )
+
+
 class TestFreshCheckpointedRun:
     def test_journal_and_manifest_written(self, tmp_path):
         _, baseline = _run()
@@ -105,11 +123,13 @@ class TestFreshCheckpointedRun:
         for entry_file in _journal_entries(tmp_path / "run"):
             header, body = _read_entry(entry_file)
             assert header["format"] == LEDGER_FORMAT
-            # The checksum covers the compressed bytes exactly as they
-            # sit on disk.
+            # The checksum covers the body bytes exactly as they sit
+            # on disk.
             assert hashlib.sha256(body).hexdigest() == header["sha256"]
-            payload = json.loads(zlib.decompress(body).decode("utf-8"))
-            assert payload["ok"] and "store" in payload
+            store_blob, meta = _split_body(body)
+            assert meta["ok"]
+            # The framed store is a canonical binary blob, verbatim.
+            assert store_blob[:4] == b"RPS2"
 
     def test_existing_run_dir_requires_resume(self, tmp_path):
         _run(checkpoint=tmp_path / "run")
@@ -236,13 +256,10 @@ class TestCorruptionPaths:
     def test_tampered_payload_fails_checksum(self, tmp_path):
         def tamper(entry_file):
             header, body = _read_entry(entry_file)
-            payload = json.loads(zlib.decompress(body).decode("utf-8"))
-            payload["pages"] = payload["pages"] + 1
-            recompressed = zlib.compress(
-                json.dumps(payload, sort_keys=True).encode("utf-8"), 1
-            )
-            # Old checksum, new payload bytes: must be rejected.
-            _write_entry(entry_file, header, recompressed)
+            store_blob, meta = _split_body(body)
+            meta["pages"] = meta["pages"] + 1
+            # Old checksum, new body bytes: must be rejected.
+            _write_entry(entry_file, header, _build_body(store_blob, meta))
 
         self._damage_and_resume(tmp_path, tamper)
 
