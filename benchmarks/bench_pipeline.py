@@ -8,6 +8,7 @@ import pytest
 from _helpers import record
 
 from repro import ScenarioConfig, Study
+from repro.config import ExecutionConfig
 from repro.crawler import Crawler
 from repro.fingerprint import FingerprintEngine
 from repro.webgen import WebEcosystem
@@ -163,6 +164,153 @@ def test_columnar_scale_crawl(benchmark):
 
     blob = store_to_bytes(store)
     record(benchmark, store_blob_bytes=len(blob))
+
+
+# ----------------------------------------------------------------------
+# Adaptive execution: per-shard spread and metrics-driven replanning.
+# ----------------------------------------------------------------------
+
+#: Scale for the adaptive/spread benches; CI shrinks via these knobs.
+_ADAPTIVE_POPULATION = int(os.environ.get("REPRO_ADAPTIVE_POPULATION", "2000"))
+_ADAPTIVE_WEEKS = int(os.environ.get("REPRO_ADAPTIVE_WEEKS", "30"))
+_ADAPTIVE_WORKERS = 4
+
+
+def _adaptive_run(backend="serial", plan_from=None, workers=_ADAPTIVE_WORKERS):
+    """One manifest crawl; returns (report, per-shard durations in plan order)."""
+    config = ScenarioConfig(population=_ADAPTIVE_POPULATION, seed=_SCALE_SEED)
+    crawler = Crawler(
+        WebEcosystem(config),
+        mode="manifest",
+        apply_filter=False,
+        execution=ExecutionConfig(
+            backend=backend, workers=workers, plan_from=plan_from
+        ),
+    )
+    started = time.perf_counter()
+    report = crawler.run(weeks=config.calendar.weeks[:_ADAPTIVE_WEEKS])
+    elapsed = time.perf_counter() - started
+    events = [
+        e
+        for e in report.metrics.events
+        if e.name == "shard" and e.status == "ok"
+    ]
+    durations = [
+        e.duration_us / 1e6
+        for e in sorted(events, key=lambda e: e.shard_index)
+    ]
+    return report, durations, elapsed
+
+
+def _pool_schedule(durations, workers):
+    """Greedy earliest-free-worker schedule over measured durations.
+
+    Tasks are assigned in plan order (exactly how the dispatcher feeds a
+    pool); returns ``(makespan, tail_idle)`` where tail idle is the
+    total time workers sit finished while the tail shard still runs.
+    """
+    free = [0.0] * workers
+    for duration in durations:
+        slot = min(range(workers), key=free.__getitem__)
+        free[slot] += duration
+    makespan = max(free)
+    return makespan, sum(makespan - f for f in free)
+
+
+def test_shard_duration_spread(benchmark):
+    """Per-shard duration spread (min/median/max, tail idle), per backend.
+
+    The serial backend measures each shard uncontended — its spread is
+    the plan's intrinsic imbalance; the pooled backends show how that
+    imbalance plus contention translates into tail idle.
+    """
+    import statistics
+
+    def sweep():
+        spreads = {}
+        for backend in ("serial", "thread", "process", "async"):
+            _, durations, elapsed = _adaptive_run(backend=backend)
+            makespan, tail_idle = _pool_schedule(
+                durations, _ADAPTIVE_WORKERS
+            )
+            spreads[backend] = {
+                "shards": len(durations),
+                "min_s": min(durations),
+                "median_s": statistics.median(durations),
+                "max_s": max(durations),
+                "tail_idle_s": tail_idle,
+                "wall_s": elapsed,
+            }
+        return spreads
+
+    spreads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for backend, spread in spreads.items():
+        assert spread["shards"] >= 1
+        assert spread["max_s"] >= spread["median_s"] >= spread["min_s"] > 0
+        record(
+            benchmark,
+            **{
+                f"{backend}_{key}": value
+                for key, value in spread.items()
+            },
+        )
+        print(
+            f"\n{backend}: {spread['shards']} shards, "
+            f"min/median/max {spread['min_s']:.3f}/"
+            f"{spread['median_s']:.3f}/{spread['max_s']:.3f}s, "
+            f"tail idle {spread['tail_idle_s']:.3f}s, "
+            f"wall {spread['wall_s']:.2f}s"
+        )
+
+
+def test_adaptive_two_pass(benchmark, tmp_path):
+    """Two-pass adaptive replan: measured tail-shard idle must shrink.
+
+    Pass 1 runs the uniform plan and writes its canonical metrics; pass
+    2 replans from that document (``--plan-from``) at the same shard
+    count.  Both passes run on the serial backend so each shard's wall
+    duration is measured uncontended, then a deterministic pool schedule
+    over those measured durations yields the tail-idle comparison —
+    recorded in ``BENCH_pipeline.json`` as ``tail_idle_seconds`` /
+    ``plan_imbalance`` (adaptive) next to their uniform baselines.
+    """
+    import json
+
+    def two_pass():
+        report1, durations1, _ = _adaptive_run()
+        profile = tmp_path / "adaptive_profile.json"
+        profile.write_text(report1.metrics.canonical_json())
+        report2, durations2, _ = _adaptive_run(plan_from=str(profile))
+        return report1, durations1, report2, durations2
+
+    report1, durations1, report2, durations2 = benchmark.pedantic(
+        two_pass, rounds=1, iterations=1
+    )
+    assert len(durations1) == len(durations2), "shard counts must match"
+    planner1 = json.loads(report1.metrics.canonical_json())["planner"]
+    planner2 = json.loads(report2.metrics.canonical_json())["planner"]
+    _, tail_idle_uniform = _pool_schedule(durations1, _ADAPTIVE_WORKERS)
+    _, tail_idle_adaptive = _pool_schedule(durations2, _ADAPTIVE_WORKERS)
+    record(
+        benchmark,
+        shards=len(durations1),
+        tail_idle_seconds=tail_idle_adaptive,
+        tail_idle_seconds_uniform=tail_idle_uniform,
+        plan_imbalance=planner2["imbalance_permille"] / 1000,
+        plan_imbalance_uniform=planner1["imbalance_permille"] / 1000,
+    )
+    print(
+        f"\ntwo-pass adaptive: {len(durations1)} shards, tail idle "
+        f"{tail_idle_uniform:.3f}s -> {tail_idle_adaptive:.3f}s, "
+        f"imbalance {planner1['imbalance_permille']}‰ -> "
+        f"{planner2['imbalance_permille']}‰"
+    )
+    # The replanned run must be strictly better balanced: less measured
+    # pool idle AND a lower canonical cost imbalance.
+    assert tail_idle_adaptive < tail_idle_uniform
+    assert (
+        planner2["imbalance_permille"] <= planner1["imbalance_permille"]
+    )
 
 
 def test_parallel_speedup_and_equivalence():

@@ -70,7 +70,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     try:
         report = study.run(weeks=weeks)
-    except CheckpointError as exc:
+    except (CheckpointError, ConfigError) as exc:
+        # ConfigError here means a run-time configuration input went
+        # bad — e.g. an unreadable/mismatched --plan-from document.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     elapsed = time.perf_counter() - started
@@ -109,6 +111,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         )
         print(f"phases: {phases}", file=sys.stderr)
+    if getattr(args, "plan_from", None) and metrics.enabled:
+        planner = metrics.snapshot().get("planner")
+        if planner:
+            print(
+                f"adaptive plan [{args.plan_from}]: "
+                f"{len(planner['shards'])} shards, "
+                f"imbalance {planner['imbalance_permille'] / 10:.1f}% "
+                f"(max {planner['max_cost_units']:,} of "
+                f"{planner['total_cost_units']:,} cost units)",
+                file=sys.stderr,
+            )
     if args.checkpoint_dir:
         print(
             f"ledger [{args.checkpoint_dir}]: "

@@ -153,7 +153,7 @@ class SecurityHygieneConfig:
 
 #: Backend names accepted by :class:`ExecutionConfig`.  ``auto`` resolves
 #: to ``serial`` for one worker and ``process`` otherwise.
-EXECUTION_BACKENDS = ("auto", "serial", "thread", "process")
+EXECUTION_BACKENDS = ("auto", "serial", "thread", "process", "async")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -180,8 +180,18 @@ class ExecutionConfig:
     execution knob this never changes the dataset: a killed-and-resumed
     run persists byte-identically to an uninterrupted one.
 
+    Adaptive planning: ``plan_from`` points at a previous run's
+    canonical metrics document (``--metrics-out``); the planner reads
+    its per-shard cost profile and places shard boundaries so every
+    shard carries near-equal *estimated work* instead of near-equal
+    cell counts.  The weighted plan is still an exact partition of the
+    same grid, is recorded in the run manifest exactly like a uniform
+    one, and — like every execution knob — cannot change a byte of the
+    dataset.
+
     Attributes:
-        backend: ``auto``, ``serial``, ``thread``, or ``process``.
+        backend: ``auto``, ``serial``, ``thread``, ``process``, or
+            ``async``.
         workers: Worker count for the parallel backends.
         shard_size: Upper bound on ``weeks × domains`` cells per shard;
             ``0`` picks one shard per worker.
@@ -192,6 +202,8 @@ class ExecutionConfig:
         resume: Resume the run recorded in ``checkpoint_dir`` (requires
             ``checkpoint_dir``; refuses with a typed error when the
             recorded manifest does not match this run's configuration).
+        plan_from: Path to a previous run's canonical metrics document;
+            ``None`` plans uniform shards.
     """
 
     backend: str = "auto"
@@ -201,6 +213,7 @@ class ExecutionConfig:
     on_shard_failure: str = "raise"
     checkpoint_dir: Optional[str] = None
     resume: bool = False
+    plan_from: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:

@@ -18,7 +18,7 @@ import dataclasses
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..config import ExecutionConfig, IncrementalConfig, ScenarioConfig
-from ..errors import CrawlError
+from ..errors import ConfigError, CrawlError
 from ..obs import (
     LIBRARIES_PER_PAGE_EDGES,
     SCRIPTS_PER_PAGE_EDGES,
@@ -158,13 +158,23 @@ class CrawlReport:
         return self.dropped_shards > 0
 
 
-def _shard_outcome_fields(instruments: Instruments) -> dict:
-    """The outcome facts a completed shard's span event carries."""
+def _shard_outcome_fields(instruments: Instruments, cells: int) -> dict:
+    """The outcome facts a completed shard's span event carries.
+
+    Integer facts only: they feed the canonical ``planner`` cost
+    profile (``cells``/``pages``/``failures``/``cache_misses``/
+    ``scripts`` are the cost-model inputs), so they must be exactly
+    deterministic — wall time travels separately as the event's
+    non-canonical ``duration_us``.
+    """
+    scripts = instruments.histograms.get("page.scripts")
     return {
         "pages": instruments.counter("crawl.pages"),
         "failures": instruments.counter("crawl.fetch_failures"),
         "cache_hits": instruments.counter("cache.hits"),
         "cache_misses": instruments.counter("cache.misses"),
+        "cells": int(cells),
+        "scripts": scripts.total if scripts is not None else 0,
     }
 
 
@@ -303,6 +313,47 @@ class Crawler:
         self.resume = resume if resume is not None else self.execution.resume
         if self.resume and not self.checkpoint_dir:
             raise CrawlError("resume=True requires a checkpoint_dir")
+        #: (plan_source, plan_from_digest) of the most recent plan —
+        #: manifest provenance; refreshed by every :meth:`run`.
+        self._plan_provenance = ("uniform", "none")
+
+    # ------------------------------------------------------------------
+    def _load_cost_model(self, path: str, n_domains: int):
+        """Read a ``plan_from`` metrics document into a cost model.
+
+        Also records the plan provenance (source kind + document
+        digest) that :meth:`_run_sharded` stamps into the run manifest.
+
+        Raises:
+            ConfigError: The file is unreadable, not a canonical
+                metrics document, or measured over a different grid.
+        """
+        import hashlib
+        import json
+
+        from ..runtime.sharding import CostModel
+
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot read plan-from metrics {path!r}: {exc}"
+            ) from exc
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ConfigError(
+                f"plan-from metrics {path!r} is not a JSON document: {exc}"
+            ) from exc
+        model = CostModel.from_metrics_document(
+            document, n_domains, source=str(path)
+        )
+        self._plan_provenance = (
+            "weighted",
+            hashlib.sha256(raw).hexdigest(),
+        )
+        return model
 
     # ------------------------------------------------------------------
     def run(self, weeks: Optional[Sequence[Week]] = None) -> CrawlReport:
@@ -351,11 +402,18 @@ class Crawler:
             from ..runtime import plan_shards
 
             execution = self.execution
+            cost_model = None
+            self._plan_provenance = ("uniform", "none")
+            if execution.plan_from:
+                cost_model = self._load_cost_model(
+                    execution.plan_from, len(domains)
+                )
             shards = plan_shards(
                 len(target_weeks),
                 len(domains),
                 workers=execution.workers,
                 shard_size=execution.shard_size,
+                cost_model=cost_model,
             )
         backend_name = execution.resolved_backend
         shard_errors: Tuple[str, ...] = ()
@@ -365,6 +423,18 @@ class Crawler:
             and backend_name == "serial"
             and len(shards) <= 1
         ):
+            instruments.set_plan(
+                len(target_weeks),
+                len(domains),
+                (
+                    (s.index, s.week_start, s.week_count, s.domain_start,
+                     s.domain_count)
+                    for s in shards
+                ),
+            )
+            import time as _time
+
+            started = _time.perf_counter_ns()
             with instruments.span("dispatch"):
                 self.crawl_block(target_weeks, domains, instruments=instruments)
             # Mirror the worker path's shard accounting exactly, so a
@@ -381,8 +451,11 @@ class Crawler:
                     tuple(d.name for d in domains),
                 ),
                 attempt=0,
-                fields=_shard_outcome_fields(instruments),
+                fields=_shard_outcome_fields(
+                    instruments, len(target_weeks) * len(domains)
+                ),
                 backend="serial",
+                duration_us=(_time.perf_counter_ns() - started) // 1000,
             )
             instruments.inc("shards.completed")
             for name in (
@@ -575,6 +648,7 @@ class Crawler:
             from ..runtime.ledger import RunLedger, RunManifest
 
             ledger = RunLedger(self.checkpoint_dir)
+            plan_source, plan_from_digest = self._plan_provenance
             manifest = RunManifest.build(
                 config=config,
                 mode=self.mode,
@@ -586,14 +660,31 @@ class Crawler:
                 # checkpoint's identity includes the blob format: an
                 # old-format checkpoint must be refused, not replayed.
                 store_format=BINARY_FORMAT_VERSION,
+                plan_source=plan_source,
+                plan_from_digest=plan_from_digest,
             )
             scan = ledger.open(manifest, resume=self.resume)
             if scan.resumed:
                 # The stored plan is authoritative: journal entries are
                 # per-shard of *that* plan, and fault draws are pure in
                 # its coverage keys — so a resume may change backend or
-                # workers, but never the shard shapes.
+                # workers (or drop/alter --plan-from: the provenance
+                # fields are descriptive, not identity), but never the
+                # shard shapes.
                 shards = scan.manifest.shards()
+
+        # The plan is final here — uniform, weighted, or adopted from a
+        # resumed manifest — so this is where the canonical planner
+        # section learns its geometry.
+        instruments.set_plan(
+            len(target_weeks),
+            len(domains),
+            (
+                (s.index, s.week_start, s.week_count, s.domain_start,
+                 s.domain_count)
+                for s in shards
+            ),
+        )
 
         replayed = scan.payloads if scan is not None else {}
         tasks = []

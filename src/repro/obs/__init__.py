@@ -7,29 +7,45 @@ CI against ``--metrics-out`` files.
 
 from .instruments import (
     ATTEMPTS_EDGES,
+    COST_PER_CACHE_MISS,
+    COST_PER_CELL,
+    COST_PER_FAILURE,
+    COST_PER_PAGE,
+    COST_PER_SCRIPT,
     DATASET_COUNTERS,
     DATASET_HISTOGRAMS,
     LIBRARIES_PER_PAGE_EDGES,
     METRICS_FORMAT,
     PAGES_PER_SHARD_EDGES,
+    PLANNER_ROW_KEYS,
     SCRIPTS_PER_PAGE_EDGES,
     Histogram,
     Instruments,
     SpanEvent,
+    planner_profile,
+    shard_cost_units,
 )
 from .schema import load_schema, validate_metrics
 
 __all__ = [
     "ATTEMPTS_EDGES",
+    "COST_PER_CACHE_MISS",
+    "COST_PER_CELL",
+    "COST_PER_FAILURE",
+    "COST_PER_PAGE",
+    "COST_PER_SCRIPT",
     "DATASET_COUNTERS",
     "DATASET_HISTOGRAMS",
     "LIBRARIES_PER_PAGE_EDGES",
     "METRICS_FORMAT",
     "PAGES_PER_SHARD_EDGES",
+    "PLANNER_ROW_KEYS",
     "SCRIPTS_PER_PAGE_EDGES",
     "Histogram",
     "Instruments",
     "SpanEvent",
     "load_schema",
+    "planner_profile",
+    "shard_cost_units",
     "validate_metrics",
 ]

@@ -44,8 +44,44 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ConfigError
 
-#: Version of the canonical metrics document layout.
-METRICS_FORMAT = 1
+#: Version of the canonical metrics document layout.  Format 2 (PR-7)
+#: adds the ``planner`` section — the per-shard cost profile the
+#: adaptive planner feeds on (``--plan-from``) — and the ``cells`` /
+#: ``scripts`` facts on shard span events that the profile is derived
+#: from.
+METRICS_FORMAT = 2
+
+#: Integer weights of the shard cost model (fixed constants of the
+#: format, not tunables): a shard's estimated cost is
+#: ``cells + 4*pages + 2*failures + 16*cache_misses + 2*scripts``.
+#: The weights rank the work a cell can trigger — a reachability check
+#: alone is the floor, a collected page costs a manifest walk, a fetch
+#: failure costs the retry draws, a cache miss costs a full profile
+#: build (the dominant term), and every script adds detection work.
+#: Integer weights over span-event facts keep the profile exactly
+#: deterministic, unlike wall timings, which live in the process tier.
+COST_PER_CELL = 1
+COST_PER_PAGE = 4
+COST_PER_FAILURE = 2
+COST_PER_CACHE_MISS = 16
+COST_PER_SCRIPT = 2
+
+
+def shard_cost_units(
+    cells: int,
+    pages: int = 0,
+    failures: int = 0,
+    cache_misses: int = 0,
+    scripts: int = 0,
+) -> int:
+    """Deterministic cost estimate of one shard, in integer cost units."""
+    return (
+        COST_PER_CELL * int(cells)
+        + COST_PER_PAGE * int(pages)
+        + COST_PER_FAILURE * int(failures)
+        + COST_PER_CACHE_MISS * int(cache_misses)
+        + COST_PER_SCRIPT * int(scripts)
+    )
 
 #: Fixed bucket edges (inclusive upper bounds; one overflow bucket).
 PAGES_PER_SHARD_EDGES: Tuple[int, ...] = (
@@ -179,10 +215,17 @@ class SpanEvent:
         attempt: Zero-based final attempt — ``attempt + 1`` is how many
             times the shard ran before this outcome.
         fields: Sorted ``(key, value)`` pairs of outcome facts (pages,
-            failures, cache hits, error kind, dropped cells...).
+            failures, cache hits, covered cells, script count, error
+            kind...).
         backend: Backend the attempt ran on.  Diagnostic only: excluded
             from equality and from the canonical export, because the
             same run on another backend must stay byte-identical.
+        duration_us: Wall-clock microseconds the attempt took where it
+            ran.  Diagnostic like ``backend``: it rides payloads and
+            journals (benchmarks read it for per-shard spread) but never
+            enters equality or the canonical export — wall time is not
+            deterministic, which is exactly why the canonical cost
+            profile uses the integer ``fields`` facts instead.
     """
 
     name: str
@@ -192,11 +235,15 @@ class SpanEvent:
     attempt: int
     fields: Tuple[Tuple[str, Union[int, str]], ...] = ()
     backend: str = dataclasses.field(default="", compare=False)
+    duration_us: int = dataclasses.field(default=0, compare=False)
 
     def sort_key(self) -> Tuple:
         return (self.shard_index, self.attempt, self.status, self.name, self.fields)
 
     def to_dict(self, include_backend: bool = True) -> dict:
+        """Dict encoding; ``include_backend`` gates the non-canonical
+        attributes (backend name *and* wall duration) — payloads and
+        journals carry them, the canonical export never does."""
         out = {
             "name": self.name,
             "status": self.status,
@@ -207,6 +254,7 @@ class SpanEvent:
         }
         if include_backend:
             out["backend"] = self.backend
+            out["duration_us"] = self.duration_us
         return out
 
     @classmethod
@@ -219,6 +267,7 @@ class SpanEvent:
             attempt=int(payload["attempt"]),
             fields=tuple(sorted(payload.get("fields", {}).items())),
             backend=payload.get("backend", ""),
+            duration_us=int(payload.get("duration_us", 0)),
         )
 
 
@@ -238,7 +287,7 @@ class Instruments:
     same seed on different backends compare equal.
     """
 
-    __slots__ = ("enabled", "counters", "histograms", "events", "process")
+    __slots__ = ("enabled", "counters", "histograms", "events", "process", "plan")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
@@ -248,6 +297,12 @@ class Instruments:
         #: Non-deterministic diagnostics: wall/simulated timers (µs),
         #: ledger accounting, backend annotations.  Never canonical.
         self.process: Dict[str, Union[int, str]] = {}
+        #: The run's shard plan, set by the coordinator via
+        #: :meth:`set_plan`.  Drives the canonical ``planner`` section;
+        #: worker payloads never carry it (a worker sees one shard, the
+        #: coordinator knows the plan — including an adopted one on
+        #: resume), so :meth:`merge` leaves it alone.
+        self.plan: Optional[Tuple[int, int, Tuple[Tuple[int, ...], ...]]] = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -287,6 +342,7 @@ class Instruments:
         attempt: int,
         fields: Optional[Mapping[str, Union[int, str]]] = None,
         backend: str = "",
+        duration_us: int = 0,
     ) -> None:
         if not self.enabled:
             return
@@ -299,7 +355,26 @@ class Instruments:
                 attempt=attempt,
                 fields=tuple(sorted((fields or {}).items())),
                 backend=backend,
+                duration_us=duration_us,
             )
+        )
+
+    def set_plan(self, n_weeks: int, n_domains: int, rows) -> None:
+        """Record the run's shard plan (coordinator only).
+
+        ``rows`` is an iterable of ``(index, week_start, week_count,
+        domain_start, domain_count)`` tuples — the plan's geometry,
+        backend-free by construction.  Once set, :meth:`snapshot` emits
+        the canonical ``planner`` section: per-shard cost rows derived
+        from the plan geometry plus the shard span events' integer
+        facts.  No-op when detail is disabled.
+        """
+        if not self.enabled:
+            return
+        self.plan = (
+            int(n_weeks),
+            int(n_domains),
+            tuple(sorted(tuple(int(v) for v in row) for row in rows)),
         )
 
     def note(self, name: str, value: Union[int, str]) -> None:
@@ -432,9 +507,80 @@ class Instruments:
                 ],
             },
         }
+        if self.plan is not None:
+            document["planner"] = self._planner_section()
         if include_process:
             document["process"] = dict(sorted(self.process.items()))
         return document
+
+    def _planner_section(self) -> dict:
+        """The per-shard cost profile the adaptive planner feeds on.
+
+        One row per plan shard, joining the plan geometry with the
+        shard's final span event (``"ok"`` or ``"dropped"`` — exactly
+        one per shard).  Every value is an integer derived from
+        deterministic facts, so the section is byte-identical across
+        backends and kill/resume like the rest of the document.
+        """
+        n_weeks, n_domains, rows = self.plan
+        outcome: Dict[int, SpanEvent] = {}
+        for event in self.events:
+            if event.name == "shard":
+                outcome[event.shard_index] = event
+        shard_rows = []
+        total = 0
+        max_cost = 0
+        for index, week_start, week_count, domain_start, domain_count in rows:
+            event = outcome.get(index)
+            fields = dict(event.fields) if event is not None else {}
+            cells = week_count * domain_count
+            pages = int(fields.get("pages", 0))
+            failures = int(fields.get("failures", 0))
+            cache_misses = int(fields.get("cache_misses", 0))
+            scripts = int(fields.get("scripts", 0))
+            cost = shard_cost_units(
+                cells=cells,
+                pages=pages,
+                failures=failures,
+                cache_misses=cache_misses,
+                scripts=scripts,
+            )
+            total += cost
+            max_cost = max(max_cost, cost)
+            shard_rows.append(
+                {
+                    "index": index,
+                    "week_start": week_start,
+                    "week_count": week_count,
+                    "domain_start": domain_start,
+                    "domain_count": domain_count,
+                    "cells": cells,
+                    "pages": pages,
+                    "failures": failures,
+                    "cache_misses": cache_misses,
+                    "scripts": scripts,
+                    "attempts": (event.attempt + 1) if event is not None else 0,
+                    "cost_units": cost,
+                }
+            )
+        return {
+            "grid": {"weeks": n_weeks, "domains": n_domains},
+            "cost_model": {
+                "cell": COST_PER_CELL,
+                "page": COST_PER_PAGE,
+                "failure": COST_PER_FAILURE,
+                "cache_miss": COST_PER_CACHE_MISS,
+                "script": COST_PER_SCRIPT,
+            },
+            "shards": shard_rows,
+            "total_cost_units": total,
+            "max_cost_units": max_cost,
+            # max/mean shard cost in permille: 1000 = perfectly
+            # balanced; integer arithmetic keeps it deterministic.
+            "imbalance_permille": (
+                (max_cost * 1000 * len(shard_rows)) // total if total else 0
+            ),
+        }
 
     def canonical_json(self) -> str:
         """Deterministic serialization of :meth:`snapshot` (no process)."""
@@ -456,6 +602,7 @@ class Instruments:
         return (
             self.counters == other.counters
             and self.histograms == other.histograms
+            and self.plan == other.plan
             and sorted(self.events, key=SpanEvent.sort_key)
             == sorted(other.events, key=SpanEvent.sort_key)
         )
@@ -473,3 +620,70 @@ class Instruments:
     def __setstate__(self, state: dict) -> None:
         for slot, value in state.items():
             setattr(self, slot, value)
+
+
+# ----------------------------------------------------------------------
+# Stable extraction API over canonical metrics documents
+# ----------------------------------------------------------------------
+#: Keys every planner shard row carries (the extraction contract).
+PLANNER_ROW_KEYS = (
+    "index",
+    "week_start",
+    "week_count",
+    "domain_start",
+    "domain_count",
+    "cells",
+    "pages",
+    "failures",
+    "cache_misses",
+    "scripts",
+    "attempts",
+    "cost_units",
+)
+
+
+def planner_profile(document: Mapping) -> dict:
+    """Extract the per-shard cost profile from a canonical metrics document.
+
+    The one supported way to read shard costs back out of a
+    ``--metrics-out`` file — the adaptive planner (``--plan-from``) and
+    the benchmarks both go through here, so the document layout can
+    evolve behind this function.
+
+    Returns the validated ``planner`` section: ``grid`` (the
+    ``weeks``/``domains`` the profile was measured over), ``shards``
+    (one integer cost row per plan shard, keys
+    :data:`PLANNER_ROW_KEYS`), and the cost-model summary fields.
+
+    Raises:
+        ConfigError: ``document`` is not a format-``METRICS_FORMAT``
+            metrics document or lacks a usable planner section.
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigError(
+            f"expected a metrics document (mapping), got "
+            f"{type(document).__name__}"
+        )
+    fmt = document.get("format")
+    if fmt != METRICS_FORMAT:
+        raise ConfigError(
+            f"metrics document format {fmt!r} is not supported for "
+            f"planning; re-export it with this version "
+            f"(format {METRICS_FORMAT})"
+        )
+    planner = document.get("planner")
+    if not isinstance(planner, Mapping):
+        raise ConfigError(
+            "metrics document has no planner section; it was produced "
+            "with detailed metrics disabled or by a pre-planner version"
+        )
+    grid = planner.get("grid")
+    shards = planner.get("shards")
+    if not isinstance(grid, Mapping) or not isinstance(shards, list):
+        raise ConfigError("metrics planner section is malformed")
+    for row in shards:
+        if not isinstance(row, Mapping) or any(
+            not isinstance(row.get(key), int) for key in PLANNER_ROW_KEYS
+        ):
+            raise ConfigError("metrics planner section is malformed")
+    return dict(planner)

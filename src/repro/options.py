@@ -115,6 +115,15 @@ class ExecutionOptions:
         help="disable the incremental profile cache (results are "
         "identical; only slower)",
     )
+    plan_from: Optional[str] = opt(
+        None,
+        "--plan-from",
+        metavar="METRICS",
+        help="balance shards by cost, not cell count: read per-shard "
+        "cost facts from a previous run's canonical metrics document "
+        "(--metrics-out FILE) and place the domain cut points so every "
+        "shard carries near-equal estimated work",
+    )
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -126,6 +135,8 @@ class ExecutionOptions:
             )
         if self.shard_size is not None and self.shard_size < 0:
             raise ConfigError("shard_size must be >= 0 (0 = auto)")
+        if self.plan_from is not None:
+            object.__setattr__(self, "plan_from", str(self.plan_from))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -304,6 +315,8 @@ class RunOptions:
             overrides["backend"] = self.execution.backend
         if self.execution.shard_size is not None:
             overrides["shard_size"] = self.execution.shard_size
+        if self.execution.plan_from is not None:
+            overrides["plan_from"] = self.execution.plan_from
         if self.resilience.max_shard_retries is not None:
             overrides["max_shard_retries"] = self.resilience.max_shard_retries
         if self.resilience.on_shard_failure is not None:

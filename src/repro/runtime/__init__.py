@@ -2,9 +2,13 @@
 
 The crawl pipeline scales by partitioning the ``weeks × domains`` space
 into balanced, non-overlapping shards (:mod:`.sharding`), executing each
-shard as a self-contained task (:mod:`.worker`) on a serial, thread, or
-process backend (:mod:`.backends`), and merging the partial observation
-stores exactly (:meth:`~repro.crawler.ObservationStore.merge`).
+shard as a self-contained task (:mod:`.worker`) on a serial, thread,
+process, or asyncio backend (:mod:`.backends`), and merging the partial
+observation stores exactly
+(:meth:`~repro.crawler.ObservationStore.merge`).  Shard plans are
+uniform by default; :class:`CostModel` turns a previous run's canonical
+metrics into a weighted plan (``--plan-from``) that balances estimated
+cost instead of cell count.
 
 Robustness lives in two layers added on top:
 
@@ -28,6 +32,7 @@ and stores per (seed, plan).
 """
 
 from .backends import (
+    AsyncBackend,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
@@ -53,7 +58,7 @@ from .ledger import (
     RunManifest,
     atomic_write_bytes,
 )
-from .sharding import Shard, plan_shards
+from .sharding import CostModel, Shard, plan_shards
 from .worker import (
     ShardTask,
     execute_shard,
@@ -66,9 +71,11 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "AsyncBackend",
     "describe_backend",
     "get_backend",
     "Shard",
+    "CostModel",
     "plan_shards",
     "ShardTask",
     "execute_shard",

@@ -1,7 +1,7 @@
 """Pluggable execution backends for shard dispatch.
 
 An :class:`ExecutionBackend` maps a picklable task function over a list
-of shard tasks and returns the results *in task order*.  Three
+of shard tasks and returns the results *in task order*.  Four
 implementations cover the useful points of the design space:
 
 * :class:`SerialBackend` — in-process loop; zero overhead, the default.
@@ -11,18 +11,30 @@ implementations cover the useful points of the design space:
 * :class:`ProcessBackend` — a process pool; true multi-core execution.
   Tasks and results cross the process boundary via pickle, which is why
   the shard worker speaks the persistence layer's dict codec.
+* :class:`AsyncBackend` — asyncio cooperative execution in the current
+  process.  The virtual network is in-process, so "concurrency" costs
+  no pickling, no forks, and no thread handoffs — on a 1-CPU container
+  this is the cheapest way to interleave many shards, and the event
+  loop gives the dispatcher a natural place to overlap retry waves.
 
 Backends are deliberately dumb: all determinism lives in the shard
 planner (disjoint, contiguous work units) and the store merge (exact,
 associative), so *where* a shard runs can never change the result.
+
+Validation is normalized in :func:`get_backend`: a worker count below 1
+or an unknown backend name raises a typed
+:class:`~repro.errors.ConfigError` naming the valid backends, the same
+error family the config layer uses.  The constructors enforce the same
+bound so directly-built backends cannot drift from the factory.
 """
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 from typing import Any, Callable, List, Sequence
 
-from ..errors import CrawlError
+from ..errors import ConfigError
 
 try:  # pragma: no cover - version compatibility shim
     from typing import Protocol
@@ -56,6 +68,13 @@ def describe_backend(backend: "ExecutionBackend") -> str:
     return f"{backend.name} x{workers}"
 
 
+def _check_workers(workers: int) -> int:
+    """The one worker-count validation every backend shares."""
+    if workers < 1:
+        raise ConfigError("workers must be >= 1")
+    return workers
+
+
 class SerialBackend:
     """Runs shards one after another in the calling thread.
 
@@ -69,9 +88,7 @@ class SerialBackend:
     name = "serial"
 
     def __init__(self, workers: int = 1) -> None:
-        if workers < 1:
-            raise CrawlError("workers must be >= 1")
-        self.requested_workers = workers
+        self.requested_workers = _check_workers(workers)
         self.workers = 1
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
@@ -84,7 +101,7 @@ class ThreadBackend:
     name = "thread"
 
     def __init__(self, workers: int = 2) -> None:
-        self.workers = max(1, workers)
+        self.workers = _check_workers(workers)
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
         if not tasks:
@@ -101,7 +118,7 @@ class ProcessBackend:
     name = "process"
 
     def __init__(self, workers: int = 2) -> None:
-        self.workers = max(1, workers)
+        self.workers = _check_workers(workers)
 
     def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
         if not tasks:
@@ -112,21 +129,75 @@ class ProcessBackend:
             return list(pool.map(fn, tasks))
 
 
+class AsyncBackend:
+    """Runs shards cooperatively on an asyncio event loop.
+
+    The shard worker is synchronous CPU work against the in-process
+    virtual network, so the event loop cannot overlap two shards'
+    *computation* — but it also pays none of the process backend's
+    pickle/fork tax and none of the thread backend's handoff latency,
+    which makes it the right default on a 1-CPU container.  ``workers``
+    bounds the in-flight tasks via a semaphore; each task yields to the
+    loop (``await asyncio.sleep(0)``) before running, so dispatch-layer
+    coroutines (retry bookkeeping, journaling wrappers) interleave
+    fairly.
+
+    ``is_async`` marks the backend for the dispatcher, which replaces
+    its round-based retry loop with per-shard retry coroutines — a
+    failed shard re-enters the loop immediately instead of waiting for
+    the whole round (see :func:`~repro.runtime.dispatch.dispatch_shards`).
+    """
+
+    name = "async"
+    is_async = True
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = _check_workers(workers)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        if not tasks:
+            return []
+        return asyncio.run(self._gather(fn, tasks))
+
+    async def _gather(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> List[Any]:
+        # The semaphore must be created inside the running loop (3.9
+        # binds primitives to the loop current at construction).
+        semaphore = asyncio.Semaphore(self.workers)
+
+        async def run_one(task: Any) -> Any:
+            async with semaphore:
+                await asyncio.sleep(0)
+                return fn(task)
+
+        return list(await asyncio.gather(*(run_one(task) for task in tasks)))
+
+
 _BACKENDS = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "async": AsyncBackend,
 }
 
 
 def get_backend(name: str, workers: int = 1) -> ExecutionBackend:
-    """Instantiate a backend by name (``auto`` resolves by worker count)."""
+    """Instantiate a backend by name (``auto`` resolves by worker count).
+
+    Raises:
+        ConfigError: ``name`` is not a known backend (the message names
+            the valid ones) or ``workers`` is below 1 — the identical
+            validation for every backend, so no implementation can
+            silently clamp or accept a nonsensical worker count.
+    """
+    _check_workers(workers)
     if name == "auto":
         name = "serial" if workers <= 1 else "process"
     try:
         factory = _BACKENDS[name]
     except KeyError:
-        raise CrawlError(
+        raise ConfigError(
             f"unknown execution backend {name!r}; "
             f"expected one of auto, {', '.join(sorted(_BACKENDS))}"
         ) from None

@@ -75,10 +75,14 @@ from .worker import ShardTask, execute_shard_safely, shard_coverage_key
 #: required every journaled payload to carry its in-worker ``"metrics"``
 #: capture.  Format 3 (PR-6) frames the shard store as its canonical
 #: binary blob (length-prefixed, journaled verbatim) with only the
-#: metadata fields as compressed JSON.  Entries of older formats are
-#: quarantined and their shards re-run — the PR-5 precedent: a resumed
-#: fold never mixes entry generations.
-LEDGER_FORMAT = 3
+#: metadata fields as compressed JSON.  Format 4 (PR-7) records the
+#: shard plan's provenance (uniform vs ``plan_from``-weighted and the
+#: source document's digest) and requires journaled span events to
+#: carry the format-2 metrics facts (``cells``/``scripts``) the
+#: canonical cost profile is derived from.  Entries of older formats
+#: are quarantined and their shards re-run — the PR-5 precedent: a
+#: resumed fold never mixes entry generations.
+LEDGER_FORMAT = 4
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_DIRNAME = "journal"
@@ -194,10 +198,20 @@ class RunManifest:
     store_format: int
     shard_plan: Tuple[PlanRow, ...]
     format: int = LEDGER_FORMAT
+    #: How the shard plan was produced: ``"uniform"`` (cell-balanced)
+    #: or ``"weighted"`` (cost-balanced via ``plan_from``).  Provenance,
+    #: not identity: a resume adopts the stored plan regardless of what
+    #: the live process would have planned.
+    plan_source: str = "uniform"
+    #: sha256 of the ``plan_from`` metrics document the plan was built
+    #: from (``"none"`` for uniform plans) — the audit trail from a
+    #: weighted plan back to the exact measurements that shaped it.
+    plan_from_digest: str = "none"
 
     #: Fields compared on resume; the shard plan is adopted from the
-    #: manifest rather than compared, so execution-shape changes between
-    #: the original and resumed process stay legal.
+    #: manifest rather than compared (and its provenance fields with
+    #: it), so execution-shape changes between the original and resumed
+    #: process stay legal.
     _IDENTITY_FIELDS = (
         "format",
         "scenario_digest",
@@ -220,6 +234,8 @@ class RunManifest:
         domain_names: Sequence[str],
         shards: Sequence[Shard],
         store_format: int,
+        plan_source: str = "uniform",
+        plan_from_digest: str = "none",
     ) -> "RunManifest":
         """Derive the manifest for a planned run."""
         ordinals = tuple(week_ordinals)
@@ -252,6 +268,8 @@ class RunManifest:
             domain_count=len(names),
             store_format=store_format,
             shard_plan=tuple(plan),
+            plan_source=plan_source,
+            plan_from_digest=plan_from_digest,
         )
 
     # ------------------------------------------------------------------
@@ -267,6 +285,8 @@ class RunManifest:
             "domain_count": self.domain_count,
             "store_format": self.store_format,
             "shard_plan": [list(row) for row in self.shard_plan],
+            "plan_source": self.plan_source,
+            "plan_from_digest": self.plan_from_digest,
         }
 
     @classmethod
@@ -285,6 +305,8 @@ class RunManifest:
                 (row[0], row[1], row[2], row[3], row[4], row[5])
                 for row in payload["shard_plan"]
             ),
+            plan_source=payload.get("plan_source", "uniform"),
+            plan_from_digest=payload.get("plan_from_digest", "none"),
         )
 
     def mismatches(self, live: "RunManifest") -> List[Tuple[str, object, object]]:

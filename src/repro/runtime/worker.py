@@ -30,6 +30,7 @@ import dataclasses
 import hashlib
 import pickle
 import threading
+import time
 from typing import Dict, Optional, Tuple
 
 from ..config import ScenarioConfig
@@ -167,6 +168,7 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
     from ..crawler.store import ObservationStore
     from ..vulndb import VersionMatcher, default_database
 
+    started = time.perf_counter_ns()
     plan = task.fault_plan
     if plan is not None:
         # Planned faults fire at the shard boundary, before any network
@@ -211,7 +213,9 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
     instruments = crawler.crawl_block(weeks, domains)
     # The span event records which attempt finally completed the shard:
     # the dispatcher derives canonical retry/backoff totals from it, so
-    # a replayed shard reports the attempts it originally cost.
+    # a replayed shard reports the attempts it originally cost.  The
+    # integer fields feed the canonical cost profile; the wall duration
+    # rides along as a diagnostic (benchmark spread), never canonical.
     from ..crawler.crawl import _shard_outcome_fields
 
     instruments.event(
@@ -220,8 +224,11 @@ def execute_shard(task: ShardTask) -> Dict[str, object]:
         shard_index=task.shard_index,
         shard_key=task.shard_key(),
         attempt=task.attempt,
-        fields=_shard_outcome_fields(instruments),
+        fields=_shard_outcome_fields(
+            instruments, len(task.week_ordinals) * len(task.domain_names)
+        ),
         backend=task.backend_name,
+        duration_us=(time.perf_counter_ns() - started) // 1000,
     )
     instruments.inc("shards.completed")
     return {

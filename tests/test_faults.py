@@ -318,7 +318,10 @@ class TestBackendResolution:
         assert backend.requested_workers == 3
 
     def test_serial_backend_rejects_nonpositive_workers(self):
-        with pytest.raises(CrawlError, match="workers must be >= 1"):
+        # Worker validation is normalized across backends: every
+        # constructor (and get_backend) raises the same typed
+        # ConfigError, not a CrawlError.
+        with pytest.raises(ConfigError, match="workers must be >= 1"):
             SerialBackend(workers=0)
 
     def test_auto_resolution_by_worker_count(self):
@@ -327,8 +330,8 @@ class TestBackendResolution:
         assert isinstance(get_backend("auto", workers=2), ProcessBackend)
         assert isinstance(get_backend("thread", workers=2), ThreadBackend)
 
-    def test_unknown_backend_is_a_crawl_error(self):
-        with pytest.raises(CrawlError, match="unknown execution backend"):
+    def test_unknown_backend_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="unknown execution backend"):
             get_backend("quantum")
 
 

@@ -118,7 +118,7 @@ class TestBackendIdentityFaultFree:
             n_weeks = rng.randint(3, 5)
             weeks = config.calendar.weeks[:n_weeks]
             baseline = _serial_baseline(config, weeks)
-            for backend in ("serial", "thread"):
+            for backend in ("serial", "thread", "async"):
                 workers = rng.randint(2, 3)
                 shard_size = rng.choice((0, rng.randint(7, 60)))
                 report, store = _run_crawler(
@@ -174,12 +174,15 @@ class TestFaultDeterminism:
             assert report == report2
             assert store == store2
 
-            # The same plan on a different backend drops the same shards
-            # and produces the same bytes.
+            # The same plan on a different backend (including the
+            # cooperative asyncio one, whose retry path bypasses the
+            # round-barrier dispatcher) drops the same shards and
+            # produces the same bytes.
+            other = rng.choice(("thread", "async"))
             report3, store3 = _run_crawler(
                 config,
                 weeks,
-                backend="thread",
+                backend=other,
                 workers=3,
                 shard_size=shard_size,
                 max_retries=max_retries,
@@ -193,7 +196,7 @@ class TestFaultDeterminism:
             # Error lines match up to the backend name baked into each
             # shard description.
             assert tuple(
-                line.replace("backend thread", "backend serial")
+                line.replace(f"backend {other}", "backend serial")
                 for line in report3.shard_errors
             ) == report.shard_errors
 
@@ -384,7 +387,7 @@ class TestMetricsIdentity:
             if rng.random() < 0.4:
                 plan = proptest.fault_plan(rng, [w.ordinal for w in weeks])
             docs = {}
-            for backend in ("serial", "thread", "process"):
+            for backend in ("serial", "thread", "process", "async"):
                 report, _ = _run_crawler(
                     config,
                     weeks,
@@ -395,7 +398,12 @@ class TestMetricsIdentity:
                 )
                 docs[backend] = report.metrics.canonical_json()
                 assert "backend" not in docs[backend]
-            assert docs["serial"] == docs["thread"] == docs["process"], (
+            assert (
+                docs["serial"]
+                == docs["thread"]
+                == docs["process"]
+                == docs["async"]
+            ), (
                 f"workers={workers} shard_size={shard_size} "
                 f"plan={'yes' if plan else 'no'}"
             )
@@ -508,7 +516,7 @@ class TestMetricsIdentity:
             report2, store2 = _run_crawler(
                 config,
                 weeks,
-                backend=rng.choice(("serial", "process")),
+                backend=rng.choice(("serial", "process", "async")),
                 workers=2,
                 plan=plan,
                 checkpoint_dir=killed,
@@ -560,7 +568,7 @@ class TestBinaryEncodingIdentity:
             config = ScenarioConfig(population=rng.choice((30, 40)), seed=seed)
             weeks = config.calendar.weeks[: rng.randint(3, 4)]
             baseline = store_to_bytes(self._crawl_store(config, weeks))
-            for backend in ("serial", "thread", "process"):
+            for backend in ("serial", "thread", "process", "async"):
                 blob = store_to_bytes(
                     self._crawl_store(
                         config,
@@ -606,7 +614,7 @@ class TestBinaryEncodingIdentity:
             resumed = self._crawl_store(
                 config,
                 weeks,
-                backend=rng.choice(("serial", "thread", "process")),
+                backend=rng.choice(("serial", "thread", "process", "async")),
                 workers=2,
                 checkpoint_dir=str(root),
                 resume=True,
@@ -749,7 +757,7 @@ class TestLedgerRoundTrip:
             for entry in doomed:
                 entry.unlink()
 
-            backend = rng.choice(("serial", "thread", "process"))
+            backend = rng.choice(("serial", "thread", "process", "async"))
             report2, store = _run_crawler(
                 config,
                 weeks,

@@ -15,6 +15,7 @@ from repro.crawler import Crawler, ObservationStore
 from repro.crawler.persistence import store_from_dict, store_to_dict
 from repro.errors import ConfigError, CrawlError, StoreError
 from repro.runtime import (
+    AsyncBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -101,10 +102,17 @@ class TestExecutionConfig:
         assert isinstance(get_backend("serial"), SerialBackend)
         assert isinstance(get_backend("thread", 2), ThreadBackend)
         assert isinstance(get_backend("process", 2), ProcessBackend)
+        assert isinstance(get_backend("async", 2), AsyncBackend)
         assert isinstance(get_backend("auto", 1), SerialBackend)
         assert isinstance(get_backend("auto", 2), ProcessBackend)
-        with pytest.raises(CrawlError):
+        # Validation is normalized in get_backend: unknown names and bad
+        # worker counts both raise the typed ConfigError, for every
+        # backend, before any constructor runs.
+        with pytest.raises(ConfigError, match="unknown execution backend"):
             get_backend("quantum")
+        for name in ("serial", "thread", "process", "async", "auto"):
+            with pytest.raises(ConfigError, match="workers must be >= 1"):
+                get_backend(name, workers=0)
 
     def test_backends_map_in_task_order(self):
         tasks = list(range(7))
@@ -112,6 +120,7 @@ class TestExecutionConfig:
         assert SerialBackend().map(_square, tasks) == expected
         assert ThreadBackend(workers=3).map(_square, tasks) == expected
         assert ProcessBackend(workers=2).map(_square, tasks) == expected
+        assert AsyncBackend(workers=3).map(_square, tasks) == expected
 
 
 def _fresh_store(config):
