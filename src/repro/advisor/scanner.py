@@ -39,7 +39,9 @@ from ..vulndb.flash_data import FLASH_END_OF_LIFE
 from ..webgen.libraries import library_profiles
 from .findings import Finding, ScanReport, Severity
 
-_ATTACK_SEVERITY = {
+#: Attack class -> finding severity; shared with the serving layer's
+#: trajectory-based domain scans so both report identical severities.
+ATTACK_SEVERITY = {
     AttackType.XSS: Severity.HIGH,
     AttackType.ARBITRARY_CODE_INJECTION: Severity.CRITICAL,
     AttackType.PROTOTYPE_POLLUTION: Severity.HIGH,
@@ -174,7 +176,7 @@ class SiteScanner:
         stated_ids = {h.identifier for h in stated_hits}
         for hit in true_hits:
             advisory = hit.advisory
-            severity = _ATTACK_SEVERITY.get(advisory.attack_type, Severity.MEDIUM)
+            severity = ATTACK_SEVERITY.get(advisory.attack_type, Severity.MEDIUM)
             exploitable = self._is_exploitable(advisory, library, version)
             undisclosed = advisory.identifier not in stated_ids
             if exploitable and severity < Severity.CRITICAL:

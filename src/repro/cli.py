@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     repro run [--population N] [--seed S] [--save-store FILE] [--full]
               [--weeks N] [<run options>]
@@ -22,6 +22,11 @@ Three subcommands::
         Run the PoC lab sweep over every advisory and print the Table 2
         verdicts.
 
+    repro serve --store FILE [--crawl-metrics FILE] [--port N] [...]
+        Load a persisted binary store and serve the analysis surface as
+        canonical-JSON endpoints (see :mod:`repro.serve`); the flag
+        group is derived from the ``ServeOptions`` dataclass.
+
 Also usable as ``python -m repro.cli ...``.
 """
 
@@ -32,7 +37,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .options import add_option_arguments
+from .options import add_option_arguments, add_serve_arguments
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -183,6 +188,19 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .errors import ConfigError
+    from .options import serve_options_from_namespace
+    from .serve import run_server
+
+    try:
+        options = serve_options_from_namespace(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_server(options)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .poclab import ValidationLab
     from .reporting import Table
@@ -247,6 +265,15 @@ def build_parser() -> argparse.ArgumentParser:
     # repro.options dataclasses' field metadata.
     add_option_arguments(run)
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a persisted store as JSON endpoints (repro.serve)",
+    )
+    # The serve flag surface is likewise derived from ServeOptions
+    # field metadata; `python -m repro.serve` reads the same table.
+    add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     scan = sub.add_parser("scan", help="scan one HTML file for findings")
     scan.add_argument("file")

@@ -163,3 +163,7 @@ class EnvironmentSetupError(PocError):
 
 class AnalysisError(ReproError):
     """An analysis was run on inputs that violate its preconditions."""
+
+
+class ServeError(ReproError):
+    """The query service could not start up or satisfy a request."""

@@ -25,7 +25,12 @@ from .instruments import (
     planner_profile,
     shard_cost_units,
 )
-from .schema import load_schema, validate_metrics
+from .schema import (
+    load_schema,
+    load_serve_schema,
+    validate_metrics,
+    validate_serve_metrics,
+)
 
 __all__ = [
     "ATTEMPTS_EDGES",
@@ -45,7 +50,9 @@ __all__ = [
     "Instruments",
     "SpanEvent",
     "load_schema",
+    "load_serve_schema",
     "planner_profile",
     "shard_cost_units",
     "validate_metrics",
+    "validate_serve_metrics",
 ]

@@ -162,6 +162,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> int:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        Bucketed percentiles are conservative (they round up to the
+        bucket edge; the overflow bucket reports the observed max),
+        which is what a latency SLO wants.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ConfigError(f"quantile must be in (0, 1], got {q}")
+        if not self.count:
+            return 0
+        target = q * self.count
+        running = 0
+        for index, bucket in enumerate(self.counts):
+            running += bucket
+            if running >= target:
+                if index < len(self.edges):
+                    return self.edges[index]
+                break
+        return self.vmax if self.vmax is not None else 0
+
     def to_dict(self) -> dict:
         return {
             "edges": list(self.edges),

@@ -1,7 +1,9 @@
 """Schema validation for the canonical metrics document.
 
 CI validates every ``--metrics-out`` file against the checked-in
-``metrics.schema.json`` so the document layout cannot drift silently.
+``metrics.schema.json`` so the document layout cannot drift silently;
+the query service's ``/metrics`` document has its own checked-in
+``serve.schema.json`` validated the same way.
 The container bakes in no JSON-Schema library, so this module implements
 the small subset the schema actually uses — ``type``, ``enum``,
 ``required``, ``properties``, ``additionalProperties``, ``items``,
@@ -15,6 +17,7 @@ from pathlib import Path
 from typing import List, Mapping
 
 SCHEMA_PATH = Path(__file__).with_name("metrics.schema.json")
+SERVE_SCHEMA_PATH = Path(__file__).with_name("serve.schema.json")
 
 _TYPES = {
     "object": dict,
@@ -30,6 +33,11 @@ _TYPES = {
 def load_schema() -> dict:
     """The checked-in schema for the canonical metrics document."""
     return json.loads(SCHEMA_PATH.read_text())
+
+
+def load_serve_schema() -> dict:
+    """The checked-in schema for the /metrics serving document."""
+    return json.loads(SERVE_SCHEMA_PATH.read_text())
 
 
 def _check_type(value, expected: str) -> bool:
@@ -79,6 +87,15 @@ def validate_metrics(document, schema: Mapping = None) -> List[str]:
     """Validate a metrics document; returns a list of error strings."""
     if schema is None:
         schema = load_schema()
+    errors: List[str] = []
+    _validate(document, schema, "$", errors)
+    return errors
+
+
+def validate_serve_metrics(document, schema: Mapping = None) -> List[str]:
+    """Validate a serving /metrics document; returns error strings."""
+    if schema is None:
+        schema = load_serve_schema()
     errors: List[str] = []
     _validate(document, schema, "$", errors)
     return errors

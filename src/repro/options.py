@@ -349,33 +349,146 @@ class RunOptions:
 
 
 # ----------------------------------------------------------------------
+# Serving options (repro serve / python -m repro.serve)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ServeOptions:
+    """How the query service runs: store, binding, cache, aggregates.
+
+    Unlike the run groups, most fields carry a concrete resting default
+    rather than ``None`` — the service has no scenario config to
+    inherit from.  Knobs here can change which *bytes are recomputed
+    when* (TTL, capacity) but never which bytes are served: responses
+    are a pure function of the loaded dataset.
+    """
+
+    store: Optional[str] = opt(
+        None,
+        "--store",
+        metavar="FILE",
+        help="persisted binary store to serve (format v2, from "
+        "'repro run --save-store')",
+    )
+    crawl_metrics: Optional[str] = opt(
+        None,
+        "--crawl-metrics",
+        metavar="FILE",
+        help="also expose the run's canonical metrics document "
+        "(--metrics-out FILE) verbatim at /crawl-metrics",
+    )
+    host: str = opt(
+        "127.0.0.1",
+        "--host",
+        metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    port: int = opt(
+        8737,
+        "--port",
+        type=int,
+        metavar="PORT",
+        help="bind port; 0 picks an ephemeral port (default: 8737)",
+    )
+    cache_ttl: float = opt(
+        60.0,
+        "--cache-ttl",
+        type=float,
+        metavar="SECONDS",
+        help="response-cache TTL in seconds; 0 disables caching "
+        "(served bytes are identical either way)",
+    )
+    cache_entries: int = opt(
+        1024,
+        "--cache-entries",
+        type=int,
+        metavar="N",
+        help="response-cache capacity, FIFO-evicted; 0 = unbounded",
+    )
+    top_versions: int = opt(
+        5,
+        "--top-versions",
+        type=int,
+        metavar="K",
+        help="versions per library in trend responses (?top=K overrides "
+        "per request, 1..50)",
+    )
+
+    def __post_init__(self) -> None:
+        if self.store is not None:
+            object.__setattr__(self, "store", str(self.store))
+        if self.crawl_metrics is not None:
+            object.__setattr__(self, "crawl_metrics", str(self.crawl_metrics))
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in 0..65535, got {self.port}")
+        if self.cache_ttl < 0:
+            raise ConfigError("cache_ttl must be >= 0 seconds (0 disables)")
+        if self.cache_entries < 0:
+            raise ConfigError("cache_entries must be >= 0 (0 = unbounded)")
+        if not 1 <= self.top_versions <= 50:
+            raise ConfigError(
+                f"top_versions must be in 1..50, got {self.top_versions}"
+            )
+
+
+#: --help group header for the serve flag surface.
+SERVE_OPTION_GROUP = (
+    "serving options",
+    "query service over a persisted store (repro.serve)",
+)
+
+
+# ----------------------------------------------------------------------
 # CLI derivation: argparse groups from the same field metadata
 # ----------------------------------------------------------------------
+def _add_group_fields(group, option_cls) -> None:
+    """Add one option class's flags to an argparse group."""
+    for field in dataclasses.fields(option_cls):
+        spec = field.metadata.get("cli")
+        if spec is None:
+            continue
+        if spec["kind"] == "value":
+            kwargs = {"default": None, "help": spec["help"]}
+            if spec["type"] is not str:
+                kwargs["type"] = spec["type"]
+            if spec["metavar"]:
+                kwargs["metavar"] = spec["metavar"]
+            if spec["choices"]:
+                kwargs["choices"] = list(spec["choices"])
+            group.add_argument(spec["flag"], **kwargs)
+        else:  # store_true / negate: a bare flag
+            group.add_argument(
+                spec["flag"], action="store_true", help=spec["help"]
+            )
+
+
+def _group_values_from_namespace(option_cls, namespace) -> dict:
+    """Given-flag values for one option class (absent flags omitted)."""
+    values = {}
+    for field in dataclasses.fields(option_cls):
+        spec = field.metadata.get("cli")
+        if spec is None:
+            continue
+        raw = getattr(namespace, _flag_dest(spec["flag"]), None)
+        if spec["kind"] == "negate":
+            if raw:  # --no-X given: turn the behaviour off
+                values[field.name] = False
+        elif spec["kind"] == "store_true":
+            if raw:
+                values[field.name] = True
+        elif raw is not None:
+            values[field.name] = raw
+    return values
+
+
 def add_option_arguments(parser) -> None:
-    """Add every option-group flag to ``parser``, grouped for ``--help``.
+    """Add every run-option flag to ``parser``, grouped for ``--help``.
 
     Derived field-by-field from :data:`OPTION_GROUPS`, so a new option
     only ever gets declared once.
     """
     for _, option_cls, title, description in OPTION_GROUPS:
         group = parser.add_argument_group(title, description)
-        for field in dataclasses.fields(option_cls):
-            spec = field.metadata.get("cli")
-            if spec is None:
-                continue
-            if spec["kind"] == "value":
-                kwargs = {"default": None, "help": spec["help"]}
-                if spec["type"] is not str:
-                    kwargs["type"] = spec["type"]
-                if spec["metavar"]:
-                    kwargs["metavar"] = spec["metavar"]
-                if spec["choices"]:
-                    kwargs["choices"] = list(spec["choices"])
-                group.add_argument(spec["flag"], **kwargs)
-            else:  # store_true / negate: a bare flag
-                group.add_argument(
-                    spec["flag"], action="store_true", help=spec["help"]
-                )
+        _add_group_fields(group, option_cls)
 
 
 def options_from_namespace(namespace) -> RunOptions:
@@ -388,22 +501,29 @@ def options_from_namespace(namespace) -> RunOptions:
     """
     groups = {}
     for attr, option_cls, _, _ in OPTION_GROUPS:
-        values = {}
-        for field in dataclasses.fields(option_cls):
-            spec = field.metadata.get("cli")
-            if spec is None:
-                continue
-            raw = getattr(namespace, _flag_dest(spec["flag"]), None)
-            if spec["kind"] == "negate":
-                if raw:  # --no-X given: turn the behaviour off
-                    values[field.name] = False
-            elif spec["kind"] == "store_true":
-                if raw:
-                    values[field.name] = True
-            elif raw is not None:
-                values[field.name] = raw
-        groups[attr] = option_cls(**values)
+        groups[attr] = option_cls(
+            **_group_values_from_namespace(option_cls, namespace)
+        )
     return RunOptions(**groups)
+
+
+def add_serve_arguments(parser) -> None:
+    """Add the :class:`ServeOptions` flags to ``parser``."""
+    title, description = SERVE_OPTION_GROUP
+    group = parser.add_argument_group(title, description)
+    _add_group_fields(group, ServeOptions)
+
+
+def serve_options_from_namespace(namespace) -> ServeOptions:
+    """Build validated :class:`ServeOptions` from parsed CLI arguments.
+
+    Raises:
+        ConfigError: A serve knob is out of range (bad port, negative
+            TTL or capacity, top_versions outside 1..50).
+    """
+    return ServeOptions(
+        **_group_values_from_namespace(ServeOptions, namespace)
+    )
 
 
 __all__ = [
@@ -413,7 +533,11 @@ __all__ = [
     "OPTION_GROUPS",
     "ResilienceOptions",
     "RunOptions",
+    "SERVE_OPTION_GROUP",
+    "ServeOptions",
     "add_option_arguments",
+    "add_serve_arguments",
     "opt",
     "options_from_namespace",
+    "serve_options_from_namespace",
 ]

@@ -1,0 +1,46 @@
+"""The always-on query service over persisted crawl results.
+
+``python -m repro.serve --store run/store.bin`` (or ``repro serve``)
+loads a binary store (format v2), precomputes the hot aggregates, and
+serves the analysis surface as canonical-JSON endpoints with strong
+ETags and TTL response caching.  See :mod:`repro.serve.app` for the
+endpoint surface and the serving determinism contract, and
+:mod:`repro.serve.loadgen` for the deterministic load harness that
+proves it.
+"""
+
+from .app import (
+    SERVE_FORMAT,
+    SERVE_METRICS_FORMAT,
+    ServeApp,
+    ServeResponse,
+    canonical_bytes,
+    make_etag,
+)
+from .caching import ResponseCache, SimulatedServeClock, WallServeClock
+from .http import make_server, run_server
+from .loadgen import LoadGenerator, ReplayResult, RequestMix, build_mix
+from .routes import ROUTES, BadRequest, HttpError, MethodNotAllowed, NotFound
+
+__all__ = [
+    "BadRequest",
+    "HttpError",
+    "LoadGenerator",
+    "MethodNotAllowed",
+    "NotFound",
+    "ROUTES",
+    "ReplayResult",
+    "RequestMix",
+    "ResponseCache",
+    "SERVE_FORMAT",
+    "SERVE_METRICS_FORMAT",
+    "ServeApp",
+    "ServeResponse",
+    "SimulatedServeClock",
+    "WallServeClock",
+    "build_mix",
+    "canonical_bytes",
+    "make_etag",
+    "make_server",
+    "run_server",
+]

@@ -1,0 +1,35 @@
+"""``python -m repro.serve --store run/store.bin`` — the standalone server.
+
+The flag surface is derived from :class:`repro.options.ServeOptions`
+field metadata, exactly like ``repro serve`` (the CLI subcommand); the
+two spellings cannot drift because both read the same declaration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..options import add_serve_arguments, serve_options_from_namespace
+from .http import run_server
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a persisted crawl store as JSON endpoints",
+    )
+    add_serve_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        options = serve_options_from_namespace(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_server(options)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Response caching for the query service, on an injectable clock.
+
+The serving layer follows the same determinism discipline as the crawl
+runtime: time is an *input*, never an ambient side effect.  Both the TTL
+cache and the latency accounting read an integer-microsecond
+:class:`ServeClock`; tests and the load harness inject
+:class:`SimulatedServeClock` (starts at 0, advances only by the
+deterministic simulated cost of each request), while the real socket
+server runs on :class:`WallServeClock`.  Identical request sequences
+against identical stores therefore produce identical cache hits,
+expiries, evictions, and latency histograms — byte for byte.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+
+#: get()/put() verdicts; the app maps these onto serve.cache.* counters.
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+CACHE_EXPIRED = "expired"
+CACHE_BYPASS = "bypass"
+
+
+class SimulatedServeClock:
+    """A deterministic clock: starts at 0, moves only when told to."""
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: int = 0) -> None:
+        self._now_us = int(start_us)
+
+    def now_us(self) -> int:
+        return self._now_us
+
+    def advance_us(self, micros: int) -> None:
+        self._now_us += int(micros)
+
+
+class WallServeClock:
+    """Monotonic wall time for the real socket server.
+
+    ``advance_us`` is a no-op: wall time moves by itself, the simulated
+    per-request cost is only an accounting convention.
+    """
+
+    __slots__ = ()
+
+    def now_us(self) -> int:
+        return time.monotonic_ns() // 1_000
+
+    def advance_us(self, micros: int) -> None:
+        pass
+
+
+class ResponseCache:
+    """A TTL response cache with deterministic FIFO eviction.
+
+    Entries are ``(body, etag)`` pairs keyed by the canonical request
+    key (path plus normalized query).  Expiry compares integer
+    microseconds against the injected clock; eviction is strict
+    insertion order (FIFO, not LRU — a hit must not reorder entries, or
+    the eviction sequence would depend on cache-read timing and the
+    cache-on/off byte-identity contract would be unverifiable).
+
+    Args:
+        ttl_us: Entry lifetime in microseconds; 0 disables the cache.
+        max_entries: FIFO capacity; 0 means unbounded.
+    """
+
+    __slots__ = ("ttl_us", "max_entries", "_entries")
+
+    def __init__(self, ttl_us: int, max_entries: int = 0) -> None:
+        if ttl_us < 0:
+            raise ConfigError("cache ttl_us must be >= 0 (0 disables)")
+        if max_entries < 0:
+            raise ConfigError("cache max_entries must be >= 0 (0 = unbounded)")
+        self.ttl_us = int(ttl_us)
+        self.max_entries = int(max_entries)
+        #: key -> (stored_at_us, body, etag), insertion-ordered
+        self._entries: "OrderedDict[str, Tuple[int, bytes, str]]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.ttl_us > 0
+
+    def get(self, key: str, now_us: int) -> Tuple[Optional[Tuple[bytes, str]], str]:
+        """The cached ``(body, etag)`` for ``key``, plus a verdict.
+
+        Returns ``(entry, "hit")``, ``(None, "expired")`` (the stale
+        entry is dropped), or ``(None, "miss")``.
+        """
+        if not self.enabled:
+            return None, CACHE_BYPASS
+        record = self._entries.get(key)
+        if record is None:
+            return None, CACHE_MISS
+        stored_at, body, etag = record
+        if now_us - stored_at >= self.ttl_us:
+            del self._entries[key]
+            return None, CACHE_EXPIRED
+        return (body, etag), CACHE_HIT
+
+    def put(self, key: str, body: bytes, etag: str, now_us: int) -> int:
+        """Store an entry; returns how many entries were evicted."""
+        if not self.enabled:
+            return 0
+        self._entries[key] = (int(now_us), body, etag)
+        evicted = 0
+        if self.max_entries:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -14,6 +14,9 @@ from repro.vulndb import VersionMatcher, default_database
 from repro.webgen import WebEcosystem
 
 
+SERVE_MIX_SEED = 7
+
+
 SMALL_POPULATION = 500
 SEED = 123
 
@@ -54,3 +57,47 @@ def database():
 @pytest.fixture(scope="session")
 def matcher(database) -> VersionMatcher:
     return VersionMatcher(database)
+
+
+# --- serving fixtures -------------------------------------------------
+#
+# The serve tests and benchmarks/bench_serve.py exercise the same
+# artifacts a production deployment would: a binary store persisted to
+# disk (format v2) plus the run's canonical crawl metrics, and a seeded
+# Zipf request mix.  Persisting once per session keeps the suite fast
+# and guarantees every consumer queries byte-identical inputs.
+
+
+@pytest.fixture(scope="session")
+def served_run(study, tmp_path_factory):
+    """(store_path, crawl_metrics_path) for the canned crawl run."""
+    from repro.crawler.persistence import save_store
+
+    root = tmp_path_factory.mktemp("served-run")
+    store_path = root / "store.bin"
+    metrics_path = root / "crawl-metrics.json"
+    save_store(study.store, store_path)
+    metrics_path.write_text(study.crawl_report.metrics.canonical_json())
+    return store_path, metrics_path
+
+
+@pytest.fixture(scope="session")
+def serve_app(served_run, small_config, database):
+    """A ServeApp loaded from the persisted artifacts (simulated clock)."""
+    from repro.serve import ServeApp
+
+    store_path, metrics_path = served_run
+    return ServeApp.from_files(
+        store_path,
+        metrics_path,
+        calendar=small_config.calendar,
+        database=database,
+    )
+
+
+@pytest.fixture(scope="session")
+def request_mix(store, database):
+    """The seeded Zipf request mix shared by tests and bench_serve."""
+    from repro.serve import build_mix
+
+    return build_mix(store, database, seed=SERVE_MIX_SEED)
