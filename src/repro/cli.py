@@ -27,6 +27,13 @@ Four subcommands::
         canonical-JSON endpoints (see :mod:`repro.serve`); the flag
         group is derived from the ``ServeOptions`` dataclass.
 
+    repro orchestrate {run,status} --queue-dir DIR [--ticks N] [...]
+        Drive (or inspect) a durable multi-run fleet: a leased job
+        queue of crawl -> analyses -> report -> serve-refresh DAGs with
+        retries, dead-lettering, and crash recovery (see
+        :mod:`repro.orchestrator`); the flag group is derived from the
+        ``OrchestratorOptions`` dataclass.
+
 Also usable as ``python -m repro.cli ...``.
 """
 
@@ -37,7 +44,11 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .options import add_option_arguments, add_serve_arguments
+from .options import (
+    add_option_arguments,
+    add_orchestrate_arguments,
+    add_serve_arguments,
+)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -201,6 +212,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_server(options)
 
 
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    from .errors import ConfigError, OrchestratorError
+    from .options import orchestrate_options_from_namespace
+
+    try:
+        options = orchestrate_options_from_namespace(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not options.queue_dir:
+        print("error: --queue-dir is required", file=sys.stderr)
+        return 2
+
+    from .orchestrator import DEAD_LETTER, Orchestrator, status_lines
+
+    if args.action == "status":
+        try:
+            for line in status_lines(options.queue_dir):
+                print(line)
+        except OrchestratorError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    try:
+        plan = options.to_plan()
+        orchestrator = Orchestrator(options.queue_dir, plan)
+        records = orchestrator.run()
+    except (ConfigError, OrchestratorError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Degraded-but-complete is still exit 0: every job reached a
+    # terminal state and nothing was dropped — the dead-letter queue
+    # and the stderr report carry the damage.
+    done = sum(1 for r in records.values() if r.state == "done")
+    counters = orchestrator.instruments.counters
+    print(
+        f"fleet [{options.queue_dir}]: {done}/{len(records)} jobs done, "
+        f"{counters.get('orchestrator.job_retries', 0)} retr"
+        f"{'ies' if counters.get('orchestrator.job_retries', 0) != 1 else 'y'}, "
+        f"{counters.get('orchestrator.lease_expiries', 0)} lease expiries, "
+        f"{counters.get('orchestrator.records_quarantined', 0)} records "
+        f"quarantined",
+        file=sys.stderr,
+    )
+    for record in records.values():
+        if record.degraded:
+            label = (
+                "dead-letter" if record.state == DEAD_LETTER else record.state
+            )
+            print(
+                f"  {label} {record.job_id}: {record.error}", file=sys.stderr
+            )
+    print(f"fleet metrics written to {orchestrator.write_fleet_metrics()}",
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .poclab import ValidationLab
     from .reporting import Table
@@ -274,6 +343,22 @@ def build_parser() -> argparse.ArgumentParser:
     # field metadata; `python -m repro.serve` reads the same table.
     add_serve_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    orchestrate = sub.add_parser(
+        "orchestrate",
+        help="run or inspect a durable multi-run fleet (repro.orchestrator)",
+    )
+    orchestrate.add_argument(
+        "action",
+        choices=("run", "status"),
+        help="'run' drives the fleet DAG to quiescence (resuming any "
+        "prior progress in --queue-dir); 'status' prints the durable "
+        "job records without touching them",
+    )
+    # The orchestrate flag surface is derived from OrchestratorOptions
+    # field metadata, like run/serve above.
+    add_orchestrate_arguments(orchestrate)
+    orchestrate.set_defaults(func=_cmd_orchestrate)
 
     scan = sub.add_parser("scan", help="scan one HTML file for findings")
     scan.add_argument("file")

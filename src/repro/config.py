@@ -15,7 +15,7 @@ while preserving every rate and trend shape.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 from .timeline import StudyCalendar, default_calendar
@@ -254,11 +254,24 @@ class IncrementalConfig:
     produce bit-identical stores to cache-off runs (enforced by tests),
     so the only reason to disable it is measurement of the cache itself.
 
+    A second, cross-run layer — the content-addressed
+    :class:`~repro.crawler.profilestore.ProfileStore` — lets a fleet of
+    chained runs share rendered profiles: each run writes its profiles
+    into its own generation directory and reads from the immutable
+    generations of its predecessors (manifest mode only; see the module
+    docstring for why that keeps canonical metrics deterministic).
+
     Attributes:
         profile_cache: Reuse profiles across unchanged weeks.
+        profile_store_read: Predecessor generation directories to
+            consult on in-run cache misses, most recent first.
+        profile_store_write: This run's own generation directory for
+            newly rendered profiles (``None`` disables writes).
     """
 
     profile_cache: bool = True
+    profile_store_read: Tuple[str, ...] = ()
+    profile_store_write: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)

@@ -41,6 +41,7 @@ from ..webgen.ecosystem import WebEcosystem
 from ..webgen.html import script_url
 from ..webgen.site import SiteManifest
 from .cache import ProfileCache, site_state_key
+from .profilestore import ProfileStore
 from .fetch import Fetcher, FetchOutcome
 from .filtering import AccessibilityFilter, FilterReport
 from .store import ObservationStore
@@ -522,6 +523,14 @@ class Crawler:
             self.engine.instruments = detail
         threshold = ecosystem.config.accessibility.empty_page_threshold
         cache = ProfileCache(enabled=self.incremental.profile_cache)
+        # Cross-run generation store (manifest mode only): consulted on
+        # in-run cache misses, fed with every profile this block renders.
+        # Reads touch only immutable predecessor generations, so lookup
+        # results — and the profile_store.* counters — are independent
+        # of shard execution order, backend, and worker count.
+        pstore = None
+        if self.mode == "manifest":
+            pstore = ProfileStore.from_incremental(self.incremental)
         for week in weeks:
             ecosystem.set_week(week.ordinal)
             for domain in domains:
@@ -530,13 +539,22 @@ class Crawler:
                         ins.inc("crawl.fetch_failures")
                         continue
                     manifest = ecosystem.manifest(domain, week.ordinal)
-                    if cache.enabled:
+                    if cache.enabled or pstore is not None:
                         key = site_state_key(manifest)
                         profile = cache.lookup(domain.rank, key)
                         if profile is None:
-                            profile = profile_from_manifest(
-                                manifest, self.cdn_catalog
-                            )
+                            if pstore is not None:
+                                profile = pstore.lookup(
+                                    domain.name, domain.rank, key
+                                )
+                            if profile is None:
+                                profile = profile_from_manifest(
+                                    manifest, self.cdn_catalog
+                                )
+                            if pstore is not None:
+                                pstore.store(
+                                    domain.name, domain.rank, key, profile
+                                )
                             cache.store(domain.rank, key, profile)
                     else:
                         profile = profile_from_manifest(manifest, self.cdn_catalog)
@@ -574,6 +592,8 @@ class Crawler:
                 self.store.ingest(domain, week, profile)
                 self._observe_page(ins, profile)
         cache.record(ins)
+        if pstore is not None:
+            pstore.record(ins)
         return ins
 
     @staticmethod

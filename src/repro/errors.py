@@ -121,6 +121,32 @@ class CheckpointMismatchError(CheckpointError):
         )
 
 
+class OrchestratorError(ReproError):
+    """Base class for multi-run orchestrator failures."""
+
+
+class QueueError(OrchestratorError):
+    """A job-queue directory could not be opened, read, or written."""
+
+
+class JobExecutionError(OrchestratorError):
+    """A fleet job failed while executing.
+
+    Attributes:
+        job_id: The failing job.
+        cause: ``"TypeName: message"`` of the underlying error.
+    """
+
+    def __init__(self, job_id: str, cause: str) -> None:
+        self.job_id = job_id
+        self.cause = cause
+        super().__init__(f"job {job_id} failed: {cause}")
+
+
+class InjectedJobCrash(InjectedFault):
+    """A planned orchestrator-level job-runner crash fired."""
+
+
 class StoreError(ReproError):
     """The snapshot store rejected an operation.
 

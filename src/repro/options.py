@@ -438,6 +438,143 @@ SERVE_OPTION_GROUP = (
 
 
 # ----------------------------------------------------------------------
+# Orchestrator options (repro orchestrate)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class OrchestratorOptions:
+    """How a fleet runs: queue directory, DAG shape, retry/degrade policy.
+
+    Maps one-to-one onto :meth:`~repro.orchestrator.FleetPlan.build`
+    plus the queue directory; the orchestrator's determinism contract
+    (same plan + same queue dir → same terminal records and artifact
+    bytes, interrupted or not) holds for every combination that
+    validates here.
+    """
+
+    queue_dir: Optional[str] = opt(
+        None,
+        "--queue-dir",
+        metavar="DIR",
+        help="durable queue directory (created on first run; a resumed "
+        "fleet must use the same plan flags)",
+    )
+    population: int = opt(
+        40,
+        "--population",
+        type=int,
+        metavar="N",
+        help="domains per crawl job (default: 40)",
+    )
+    seed: int = opt(
+        7,
+        "--seed",
+        type=int,
+        metavar="SEED",
+        help="scenario seed shared by every job (default: 7)",
+    )
+    ticks: int = opt(
+        3,
+        "--ticks",
+        type=int,
+        metavar="N",
+        help="recurring beats: each tick re-crawls a longer week window "
+        "and chains analyses -> report -> serve-refresh (default: 3)",
+    )
+    weeks_per_tick: int = opt(
+        2,
+        "--weeks-per-tick",
+        type=int,
+        metavar="N",
+        help="how many weeks each tick extends the crawl window by "
+        "(default: 2)",
+    )
+    degrade_policy: str = opt(
+        "skip",
+        "--degrade-policy",
+        choices=("skip", "block", "run-stale"),
+        help="what dead-lettered jobs do to their hard dependents: "
+        "'skip' / 'block' terminate them, 'run-stale' reruns them "
+        "against the freshest earlier tick's artifacts",
+    )
+    max_job_retries: int = opt(
+        2,
+        "--max-job-retries",
+        type=int,
+        metavar="N",
+        help="retries per failed job before it dead-letters "
+        "(default: 2; backoff on the fleet clock, never slept)",
+    )
+    lease_seconds: float = opt(
+        60.0,
+        "--lease-seconds",
+        type=float,
+        metavar="SECONDS",
+        help="job lease duration on the fleet clock (default: 60)",
+    )
+    backend: Optional[str] = opt(
+        None,
+        "--backend",
+        choices=EXECUTION_BACKENDS,
+        help="execution backend for the crawl jobs",
+    )
+    workers: Optional[int] = opt(
+        None,
+        "--workers",
+        type=int,
+        metavar="N",
+        help="shard each crawl job across N workers",
+    )
+    fault_plan: Optional[str] = opt(
+        None,
+        "--fault-plan",
+        metavar="SPEC",
+        help="deterministic fleet chaos, e.g. "
+        "'seed=3,jobcrash=0.3,leasestorm=0.5,queuetear=0.5' "
+        "(shard-level keys like crash= apply inside the crawl jobs)",
+    )
+
+    def __post_init__(self) -> None:
+        if self.queue_dir is not None:
+            object.__setattr__(self, "queue_dir", str(self.queue_dir))
+        if self.population < 1:
+            raise ConfigError(f"population must be >= 1, got {self.population}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        # ticks / weeks_per_tick / retries / lease / policy are
+        # validated by FleetPlan itself; to_plan() surfaces those
+        # ConfigErrors with identical wording.
+
+    def to_plan(self):
+        """The validated :class:`~repro.orchestrator.FleetPlan`."""
+        from .orchestrator import FleetPlan
+
+        fault_spec = self.fault_plan or ""
+        if fault_spec:
+            # Parse eagerly so a malformed spec fails here, with the
+            # token-naming ConfigError, before any directory is touched.
+            FaultPlan.from_spec(fault_spec)
+        return FleetPlan.build(
+            population=self.population,
+            seed=self.seed,
+            ticks=self.ticks,
+            weeks_per_tick=self.weeks_per_tick,
+            degrade_policy=self.degrade_policy,
+            max_job_retries=self.max_job_retries,
+            lease_seconds=self.lease_seconds,
+            backend=self.backend,
+            workers=self.workers,
+            fault_spec=fault_spec,
+        )
+
+
+#: --help group header for the orchestrate flag surface.
+ORCHESTRATE_OPTION_GROUP = (
+    "orchestrator options",
+    "durable multi-run fleet (repro.orchestrator)",
+)
+
+
+# ----------------------------------------------------------------------
 # CLI derivation: argparse groups from the same field metadata
 # ----------------------------------------------------------------------
 def _add_group_fields(group, option_cls) -> None:
@@ -507,6 +644,25 @@ def options_from_namespace(namespace) -> RunOptions:
     return RunOptions(**groups)
 
 
+def add_orchestrate_arguments(parser) -> None:
+    """Add the :class:`OrchestratorOptions` flags to ``parser``."""
+    title, description = ORCHESTRATE_OPTION_GROUP
+    group = parser.add_argument_group(title, description)
+    _add_group_fields(group, OrchestratorOptions)
+
+
+def orchestrate_options_from_namespace(namespace) -> OrchestratorOptions:
+    """Build validated :class:`OrchestratorOptions` from parsed arguments.
+
+    Raises:
+        ConfigError: A fleet knob is out of range (bad tick counts,
+            unknown degrade policy, malformed fault-plan spec...).
+    """
+    return OrchestratorOptions(
+        **_group_values_from_namespace(OrchestratorOptions, namespace)
+    )
+
+
 def add_serve_arguments(parser) -> None:
     """Add the :class:`ServeOptions` flags to ``parser``."""
     title, description = SERVE_OPTION_GROUP
@@ -531,13 +687,17 @@ __all__ = [
     "ExecutionOptions",
     "ObservabilityOptions",
     "OPTION_GROUPS",
+    "ORCHESTRATE_OPTION_GROUP",
+    "OrchestratorOptions",
     "ResilienceOptions",
     "RunOptions",
     "SERVE_OPTION_GROUP",
     "ServeOptions",
     "add_option_arguments",
+    "add_orchestrate_arguments",
     "add_serve_arguments",
     "opt",
     "options_from_namespace",
+    "orchestrate_options_from_namespace",
     "serve_options_from_namespace",
 ]

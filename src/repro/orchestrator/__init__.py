@@ -1,0 +1,55 @@
+"""Durable multi-run orchestrator: leased job queue + crash-safe DAGs.
+
+Layers (each a module):
+
+* :mod:`~repro.orchestrator.jobs` — :class:`FleetPlan`: the jobs, DAG
+  edges, and digestable identity of a fleet.
+* :mod:`~repro.orchestrator.queue` — :class:`JobQueue`: the durable
+  leased queue directory (write-ahead records, quarantine, dead-letter).
+* :mod:`~repro.orchestrator.runner` — :class:`JobRunner`: what each job
+  kind executes (crawl / analyses / report / serve-refresh).
+* :mod:`~repro.orchestrator.fleet` — :class:`Orchestrator`: the
+  scheduling loop, degradation policies, canonical fleet metrics.
+
+Quick start::
+
+    from repro.orchestrator import FleetPlan, Orchestrator
+
+    plan = FleetPlan.build(population=60, seed=7, ticks=3, weeks_per_tick=2)
+    records = Orchestrator("queue-dir", plan).run()
+"""
+
+from .fleet import Orchestrator, fleet_metrics, status_lines
+from .jobs import DEGRADE_POLICIES, JOB_KINDS, FleetPlan, JobSpec, job_id
+from .queue import (
+    DEAD_LETTER,
+    DEGRADED_STATES,
+    DONE,
+    PENDING,
+    TERMINAL_STATES,
+    JobQueue,
+    JobRecord,
+    QueueScan,
+)
+from .runner import JobResult, JobRunner
+
+__all__ = [
+    "DEAD_LETTER",
+    "DEGRADE_POLICIES",
+    "DEGRADED_STATES",
+    "DONE",
+    "FleetPlan",
+    "JOB_KINDS",
+    "JobQueue",
+    "JobRecord",
+    "JobResult",
+    "JobRunner",
+    "JobSpec",
+    "Orchestrator",
+    "PENDING",
+    "QueueScan",
+    "TERMINAL_STATES",
+    "fleet_metrics",
+    "job_id",
+    "status_lines",
+]

@@ -1,0 +1,250 @@
+"""Fleet plans: the jobs, DAG edges, and identity of a multi-run fleet.
+
+A :class:`FleetPlan` is to the orchestrator what the run manifest is to
+a single durable run (PR 4): a complete, digestable description of what
+the fleet *is* — every job, every dependency edge, the scenario
+parameters the jobs derive from, and the chaos schedule.  The queue
+directory stores the plan verbatim in ``queue.json``; re-opening the
+queue with a different plan is refused, never merged.
+
+The beat-style shape: each *tick* of the fleet re-crawls the population
+over a longer week window (weeks ``[0, (tick+1) * weeks_per_tick)``)
+and chains the paper's pipeline behind it::
+
+    crawl-000 ──▶ analyses-000 ──▶ report-000 ──▶ serve-000
+       ┆ (profiles)
+    crawl-001 ──▶ analyses-001 ──▶ report-001 ──▶ serve-001
+       ┆
+    crawl-002 ──▶ ...
+
+Edges come in two strengths.  A **hard** dependency gates execution:
+``analyses-001`` consumes ``crawl-001``'s store artifact and degrades
+per the fleet's policy when that crawl dead-letters.  A **soft**
+dependency only orders execution: ``crawl-001`` reads ``crawl-000``'s
+profile generation when it exists (the cross-run cache), but runs fine
+— just colder — when it does not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Version of the queue-manifest (``queue.json``) schema.
+FLEET_FORMAT = 1
+
+#: Job kinds, in per-tick chain order.
+CRAWL = "crawl"
+ANALYSES = "analyses"
+REPORT = "report"
+SERVE = "serve"
+
+JOB_KINDS = (CRAWL, ANALYSES, REPORT, SERVE)
+
+#: What a failed hard dependency does to its dependents.
+DEGRADE_POLICIES = ("skip", "block", "run-stale")
+
+
+def job_id(kind: str, tick: int) -> str:
+    return f"{kind}-{tick:03d}"
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One node of the fleet DAG.
+
+    Attributes:
+        job_id: Stable identity (``"<kind>-<tick>"``), also the fault
+            draw key and the record filename stem.
+        kind: One of :data:`JOB_KINDS`.
+        tick: Which beat of the recurring schedule this job belongs to.
+        hard_deps: Jobs whose *artifacts* this job consumes; a degraded
+            hard dependency degrades this job per the fleet policy.
+        soft_deps: Jobs that merely order this one (profile-generation
+            warmth); they never degrade it.
+    """
+
+    job_id: str
+    kind: str
+    tick: int
+    hard_deps: Tuple[str, ...] = ()
+    soft_deps: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "tick": self.tick,
+            "hard_deps": list(self.hard_deps),
+            "soft_deps": list(self.soft_deps),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        return cls(
+            job_id=payload["job_id"],
+            kind=payload["kind"],
+            tick=payload["tick"],
+            hard_deps=tuple(payload["hard_deps"]),
+            soft_deps=tuple(payload["soft_deps"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetPlan:
+    """Everything the orchestrator needs to (re)run one fleet.
+
+    The plan is pure data — job specs plus scenario and policy scalars —
+    so its canonical JSON digest pins the fleet's identity across
+    processes exactly as the run manifest pins a single run's.
+    """
+
+    population: int
+    seed: int
+    ticks: int
+    weeks_per_tick: int
+    mode: str = "manifest"
+    degrade_policy: str = "skip"
+    max_job_retries: int = 2
+    lease_seconds: float = 60.0
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    #: ``FaultPlan.describe()`` spelling of the chaos schedule (``""``
+    #: for a fault-free fleet); stored as the spec string so the digest
+    #: covers it and a resume reconstructs the identical plan.
+    fault_spec: str = ""
+    jobs: Tuple[JobSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ConfigError(f"ticks must be >= 1, got {self.ticks}")
+        if self.weeks_per_tick < 1:
+            raise ConfigError(
+                f"weeks_per_tick must be >= 1, got {self.weeks_per_tick}"
+            )
+        if self.degrade_policy not in DEGRADE_POLICIES:
+            raise ConfigError(
+                f"unknown degrade policy {self.degrade_policy!r}; expected "
+                f"one of {', '.join(DEGRADE_POLICIES)}"
+            )
+        if self.max_job_retries < 0:
+            raise ConfigError("max_job_retries must be >= 0")
+        if self.lease_seconds <= 0:
+            raise ConfigError("lease_seconds must be > 0")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        population: int,
+        seed: int,
+        ticks: int,
+        weeks_per_tick: int,
+        *,
+        mode: str = "manifest",
+        degrade_policy: str = "skip",
+        max_job_retries: int = 2,
+        lease_seconds: float = 60.0,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        fault_spec: str = "",
+    ) -> "FleetPlan":
+        """Lay out the per-tick chain DAG for ``ticks`` beats."""
+        jobs: List[JobSpec] = []
+        for tick in range(ticks):
+            crawl = job_id(CRAWL, tick)
+            analyses = job_id(ANALYSES, tick)
+            report = job_id(REPORT, tick)
+            serve = job_id(SERVE, tick)
+            jobs.append(
+                JobSpec(
+                    crawl,
+                    CRAWL,
+                    tick,
+                    soft_deps=(
+                        (job_id(CRAWL, tick - 1),) if tick > 0 else ()
+                    ),
+                )
+            )
+            jobs.append(JobSpec(analyses, ANALYSES, tick, hard_deps=(crawl,)))
+            jobs.append(JobSpec(report, REPORT, tick, hard_deps=(analyses,)))
+            jobs.append(
+                JobSpec(serve, SERVE, tick, hard_deps=(crawl, report))
+            )
+        return cls(
+            population=population,
+            seed=seed,
+            ticks=ticks,
+            weeks_per_tick=weeks_per_tick,
+            mode=mode,
+            degrade_policy=degrade_policy,
+            max_job_retries=max_job_retries,
+            lease_seconds=lease_seconds,
+            backend=backend,
+            workers=workers,
+            fault_spec=fault_spec,
+            jobs=tuple(jobs),
+        )
+
+    # ------------------------------------------------------------------
+    def job(self, job_id_: str) -> JobSpec:
+        for spec in self.jobs:
+            if spec.job_id == job_id_:
+                return spec
+        raise KeyError(job_id_)
+
+    def week_count(self, tick: int) -> int:
+        """Weeks the tick's crawl covers: the window grows per beat."""
+        return (tick + 1) * self.weeks_per_tick
+
+    def by_id(self) -> Dict[str, JobSpec]:
+        return {spec.job_id: spec for spec in self.jobs}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": FLEET_FORMAT,
+            "population": self.population,
+            "seed": self.seed,
+            "ticks": self.ticks,
+            "weeks_per_tick": self.weeks_per_tick,
+            "mode": self.mode,
+            "degrade_policy": self.degrade_policy,
+            "max_job_retries": self.max_job_retries,
+            "lease_seconds": self.lease_seconds,
+            "backend": self.backend,
+            "workers": self.workers,
+            "fault_spec": self.fault_spec,
+            "jobs": [spec.to_dict() for spec in self.jobs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetPlan":
+        if payload.get("format") != FLEET_FORMAT:
+            raise ConfigError(
+                f"queue manifest format {payload.get('format')!r} is not "
+                f"the supported format {FLEET_FORMAT}"
+            )
+        return cls(
+            population=payload["population"],
+            seed=payload["seed"],
+            ticks=payload["ticks"],
+            weeks_per_tick=payload["weeks_per_tick"],
+            mode=payload["mode"],
+            degrade_policy=payload["degrade_policy"],
+            max_job_retries=payload["max_job_retries"],
+            lease_seconds=payload["lease_seconds"],
+            backend=payload["backend"],
+            workers=payload["workers"],
+            fault_spec=payload["fault_spec"],
+            jobs=tuple(JobSpec.from_dict(j) for j in payload["jobs"]),
+        )
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON — the fleet's identity."""
+        text = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,614 @@
+"""The durable job queue: leased, checksummed, crash-recoverable.
+
+Reuses the PR-4 ledger idioms at job granularity:
+
+* a **versioned queue manifest** (``queue.json``) pinning the fleet plan
+  (see :class:`~repro.orchestrator.jobs.FleetPlan`) — re-opening with a
+  different plan is refused;
+* **per-job write-ahead records** (``jobs/<job>.rec``): one JSON header
+  line carrying the critical scalars (state, attempt) and a sha256 over
+  the body, then the canonical-JSON body.  Every state transition is one
+  :func:`~repro.runtime.ledger.atomic_write_bytes` (temp file, fsync,
+  rename, directory fsync), so a reader — including a resumed
+  orchestrator — sees either the previous record or the complete next
+  one;
+* **quarantine, never trust**: a record that fails validation is moved
+  to ``quarantine/`` and rebuilt from its header scalars plus the job's
+  ``DONE.json`` artifact manifest (written write-ahead of the ``done``
+  transition, so a torn completion recovers without re-running the job);
+* a **dead-letter queue** (``dead-letter/``) holding a full copy of
+  every job that exhausted its retries — exhausted jobs are quarantined
+  with their typed error, never silently dropped.
+
+State machine::
+
+    pending ──▶ leased ──▶ running ──▶ done
+       ▲           │           │  └──▶ failed ──▶ pending (retry)
+       │           │           │            └──▶ dead-letter
+       └───────────┴───────────┘  (lease lost / process death:
+                                   same attempt, re-executed)
+
+``attempt`` counts *recorded failures*: losing a lease (process death,
+injected expiry) re-runs the same attempt, so fault draws keyed on
+``(job, attempt)`` replay identically across kill/resume — the property
+the convergence suite leans on.  Terminal degradation states for
+dependents (``skipped``, ``blocked``) are terminal records like
+``done``, with the upstream job named in ``error``.
+
+Chaos: with an orchestrator-level :class:`~repro.runtime.FaultPlan`
+active, record writes can be **torn** — the body is truncated mid-write
+while the header survives (the modeled failure is a partial data write
+after the metadata commit).  Each planned tear fires exactly once,
+gated by a marker in ``chaos/`` written *before* the torn bytes, so
+every execution of the same fault plan tears the same writes and
+recovery converges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import QueueError
+from ..runtime.faults import FaultPlan
+from ..runtime.ledger import atomic_write_bytes
+from .jobs import FleetPlan
+
+#: Version of the job-record schema.
+RECORD_FORMAT = 1
+
+#: Version of the per-job artifact manifest (``DONE.json``).
+DONE_FORMAT = 1
+
+QUEUE_MANIFEST = "queue.json"
+JOBS_DIRNAME = "jobs"
+DEAD_LETTER_DIRNAME = "dead-letter"
+QUARANTINE_DIRNAME = "quarantine"
+CHAOS_DIRNAME = "chaos"
+CHECKPOINTS_DIRNAME = "checkpoints"
+ARTIFACTS_DIRNAME = "artifacts"
+PROFILES_DIRNAME = "profiles"
+
+# Job states.
+PENDING = "pending"
+LEASED = "leased"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+DEAD_LETTER = "dead-letter"
+SKIPPED = "skipped"
+BLOCKED = "blocked"
+
+JOB_STATES = (
+    PENDING,
+    LEASED,
+    RUNNING,
+    DONE,
+    FAILED,
+    DEAD_LETTER,
+    SKIPPED,
+    BLOCKED,
+)
+
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, DEAD_LETTER, SKIPPED, BLOCKED)
+
+#: Terminal states that degrade hard dependents.
+DEGRADED_STATES = (DEAD_LETTER, SKIPPED, BLOCKED)
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """One job's durable state.
+
+    Attributes:
+        job_id: The job this record belongs to.
+        state: One of :data:`JOB_STATES`.
+        attempt: Recorded failures so far (lease loss does not count).
+        expiries_served: Injected lease expiries already served for the
+            current attempt (resets when ``attempt`` increments).
+        error: Last failure as ``"TypeName: message"``; for ``skipped``
+            / ``blocked``, names the degraded upstream job.
+        lease_owner: Current lease holder (``None`` when unleased).
+        lease_expires: Lease deadline on the fleet's injectable clock.
+        updated_at: Clock time of the last transition (diagnostic only;
+            never part of canonical metrics or artifact bytes).
+    """
+
+    job_id: str
+    state: str = PENDING
+    attempt: int = 0
+    expiries_served: int = 0
+    error: Optional[str] = None
+    lease_owner: Optional[str] = None
+    lease_expires: float = 0.0
+    updated_at: float = 0.0
+
+    def to_body(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "attempt": self.attempt,
+            "expiries_served": self.expiries_served,
+            "error": self.error,
+            "lease_owner": self.lease_owner,
+            "lease_expires": self.lease_expires,
+            "updated_at": self.updated_at,
+        }
+
+    @classmethod
+    def from_body(cls, body: dict) -> "JobRecord":
+        return cls(
+            job_id=body["job_id"],
+            state=body["state"],
+            attempt=body["attempt"],
+            expiries_served=body["expiries_served"],
+            error=body["error"],
+            lease_owner=body["lease_owner"],
+            lease_expires=body["lease_expires"],
+            updated_at=body["updated_at"],
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def degraded(self) -> bool:
+        return self.state in DEGRADED_STATES
+
+
+@dataclasses.dataclass
+class QueueScan:
+    """What :meth:`JobQueue.open` found and repaired.
+
+    Attributes:
+        resumed: A matching queue manifest already existed.
+        records: Current record per job id, in plan order.
+        quarantined: Records that failed validation and were moved to
+            ``quarantine/``.
+        reclaimed: Leases reclaimed from dead owners.
+    """
+
+    resumed: bool
+    records: Dict[str, JobRecord]
+    quarantined: int = 0
+    reclaimed: int = 0
+
+
+class JobQueue:
+    """Owns one on-disk queue directory (see module docstring).
+
+    Cheap to construct — holds only paths, the plan, and the fault
+    injector.  All state lives on disk; :meth:`open` is the only scan.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.manifest_path = self.root / QUEUE_MANIFEST
+        self.jobs_dir = self.root / JOBS_DIRNAME
+        self.dead_letter_dir = self.root / DEAD_LETTER_DIRNAME
+        self.quarantine_dir = self.root / QUARANTINE_DIRNAME
+        self.chaos_dir = self.root / CHAOS_DIRNAME
+        self.fault_plan = fault_plan
+        self.plan: Optional[FleetPlan] = None
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def record_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.rec"
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        return self.root / CHECKPOINTS_DIRNAME / job_id
+
+    def artifact_dir(self, job_id: str) -> Path:
+        return self.root / ARTIFACTS_DIRNAME / job_id
+
+    def done_path(self, job_id: str) -> Path:
+        return self.artifact_dir(job_id) / "DONE.json"
+
+    def profile_generation(self, tick: int) -> Path:
+        return self.root / PROFILES_DIRNAME / f"gen-{tick:03d}"
+
+    # ------------------------------------------------------------------
+    # Open / scan / recovery
+    # ------------------------------------------------------------------
+    def open(self, plan: FleetPlan, now: float = 0.0) -> QueueScan:
+        """Create or resume the queue for ``plan``.
+
+        Fresh directory: writes ``queue.json`` and a pending record per
+        job.  Existing directory: verifies the stored plan digest
+        matches (:class:`~repro.errors.QueueError` otherwise), then
+        scans every record — quarantining invalid ones and rebuilding
+        them from header scalars + ``DONE.json`` — and reclaims leases
+        held by dead owners.
+
+        Raises:
+            QueueError: The manifest is unreadable, or names a
+                different fleet than ``plan``.
+        """
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.dead_letter_dir.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        self.chaos_dir.mkdir(parents=True, exist_ok=True)
+        self._sweep_temp_files()
+        self.plan = plan
+
+        resumed = self.manifest_path.exists()
+        if resumed:
+            stored = self._load_manifest()
+            if stored.digest() != plan.digest():
+                raise QueueError(
+                    f"queue {self.root} already holds a different fleet "
+                    f"(stored digest {stored.digest()[:12]}, live "
+                    f"{plan.digest()[:12]}); reuse the original plan or "
+                    f"point --queue-dir at a fresh directory"
+                )
+        else:
+            atomic_write_bytes(
+                self.manifest_path,
+                json.dumps(plan.to_dict(), sort_keys=True).encode("utf-8"),
+            )
+
+        records: Dict[str, JobRecord] = {}
+        quarantined = 0
+        reclaimed = 0
+        for spec in plan.jobs:
+            record, was_quarantined = self._load_record(spec.job_id)
+            quarantined += was_quarantined
+            if record is None:
+                record = JobRecord(job_id=spec.job_id, updated_at=now)
+                self._write_record(record)
+            elif record.state in (LEASED, RUNNING):
+                # The holder is provably gone: one orchestrator owns a
+                # queue directory at a time, and this process has no
+                # lease yet.  The attempt is preserved — lease loss is
+                # not a failure.
+                record.state = PENDING
+                record.lease_owner = None
+                record.lease_expires = 0.0
+                record.updated_at = now
+                self._write_record(record)
+                reclaimed += 1
+            records[spec.job_id] = record
+        return QueueScan(
+            resumed=resumed,
+            records=records,
+            quarantined=quarantined,
+            reclaimed=reclaimed,
+        )
+
+    def _load_manifest(self) -> FleetPlan:
+        try:
+            return FleetPlan.from_dict(
+                json.loads(self.manifest_path.read_text())
+            )
+        except Exception as exc:  # noqa: BLE001 - any corruption
+            raise QueueError(
+                f"queue manifest {self.manifest_path} is unreadable "
+                f"({type(exc).__name__}: {exc}); the queue directory is "
+                f"corrupt — start a fresh one"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Records: read, validate, rebuild
+    # ------------------------------------------------------------------
+    def _load_record(self, job_id: str) -> Tuple[Optional[JobRecord], int]:
+        """``(record, quarantined)`` for one job.
+
+        A valid record returns ``(record, 0)``.  A missing file returns
+        ``(None, 0)`` — the caller initializes it.  An invalid record is
+        quarantined and rebuilt: state and attempt come from the header
+        line when it survived, completion from a valid ``DONE.json``,
+        and anything unprovable degrades to a pending re-execution —
+        recovery re-runs work rather than trusting damaged bytes.
+        """
+        path = self.record_path(job_id)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None, 0
+        head, sep, body = raw.partition(b"\n")
+        header: Optional[dict]
+        try:
+            header = json.loads(head.decode("utf-8"))
+            if not isinstance(header, dict):
+                header = None
+        except (UnicodeDecodeError, ValueError):
+            header = None
+        if header is not None and sep and (
+            header.get("format") == RECORD_FORMAT
+            and header.get("job_id") == job_id
+            and header.get("sha256") == hashlib.sha256(body).hexdigest()
+        ):
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+                record = JobRecord.from_body(parsed)
+                if record.job_id == job_id and record.state in JOB_STATES:
+                    return record, 0
+            except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+                pass
+        # Invalid: quarantine the bytes, rebuild from what provably
+        # survived.
+        self._quarantine_file(path)
+        rebuilt = self._rebuild_record(job_id, header)
+        self._write_record(rebuilt, allow_tear=False)
+        return rebuilt, 1
+
+    def _rebuild_record(
+        self, job_id: str, header: Optional[dict]
+    ) -> JobRecord:
+        state = header.get("state") if header else None
+        attempt = header.get("attempt") if header else None
+        if not isinstance(attempt, int) or attempt < 0:
+            attempt = 0
+        record = JobRecord(job_id=job_id, attempt=attempt)
+        if state == DONE or self.read_done_manifest(job_id) is not None:
+            done = self.read_done_manifest(job_id)
+            if done is not None:
+                record.state = DONE
+                record.attempt = done["attempt"]
+                return record
+            # A done header without a valid DONE.json cannot be
+            # trusted; fall through to re-execution.
+            state = PENDING
+        if state in (FAILED, DEAD_LETTER, SKIPPED, BLOCKED):
+            record.state = state
+            record.error = "(recovered from torn record)"
+        else:
+            record.state = PENDING
+        return record
+
+    # ------------------------------------------------------------------
+    # Durable writes (with optional injected tears)
+    # ------------------------------------------------------------------
+    def _write_record(self, record: JobRecord, allow_tear: bool = True) -> None:
+        body = json.dumps(record.to_body(), sort_keys=True).encode("utf-8")
+        header = json.dumps(
+            {
+                "format": RECORD_FORMAT,
+                "job_id": record.job_id,
+                "state": record.state,
+                "attempt": record.attempt,
+                "sha256": hashlib.sha256(body).hexdigest(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        data = header + b"\n" + body
+        if allow_tear and self._should_tear(record):
+            # The modeled failure: header committed, body half-written.
+            data = header + b"\n" + body[: max(1, len(body) // 2)]
+        atomic_write_bytes(self.record_path(record.job_id), data)
+
+    def _should_tear(self, record: JobRecord) -> bool:
+        """Whether this write is the planned tear for its (job, state,
+        attempt) — fires once, marker-gated so chaos converges."""
+        if self.fault_plan is None or not self.fault_plan.queue_tear_rate:
+            return False
+        if not self.fault_plan.tears_write(
+            record.job_id, record.state, record.attempt
+        ):
+            return False
+        marker = (
+            self.chaos_dir
+            / f"tear-{record.job_id}-{record.state}-{record.attempt}"
+        )
+        if marker.exists():
+            return False
+        atomic_write_bytes(marker, b"torn\n")
+        return True
+
+    def _quarantine_file(self, path: Path) -> None:
+        target = self.quarantine_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self.quarantine_dir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+
+    def _sweep_temp_files(self) -> None:
+        for directory in (self.jobs_dir, self.root):
+            for tmp in directory.glob(".*.tmp"):
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - raced removal
+                    pass
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def lease(self, record: JobRecord, owner: str, now: float) -> None:
+        """``pending``/``failed`` → ``leased`` under ``owner``."""
+        assert self.plan is not None
+        record.state = LEASED
+        record.lease_owner = owner
+        record.lease_expires = now + self.plan.lease_seconds
+        record.updated_at = now
+        self._write_record(record)
+
+    def heartbeat(self, record: JobRecord, now: float) -> None:
+        """Extend the current lease — the runner is alive."""
+        assert self.plan is not None
+        record.lease_expires = now + self.plan.lease_seconds
+        record.updated_at = now
+        self._write_record(record)
+
+    def mark_running(self, record: JobRecord, now: float) -> None:
+        record.state = RUNNING
+        record.updated_at = now
+        self._write_record(record)
+
+    def expire_lease(self, record: JobRecord, now: float) -> None:
+        """Lease lost (injected or real): back to pending, same attempt."""
+        record.state = PENDING
+        record.lease_owner = None
+        record.lease_expires = 0.0
+        record.expiries_served += 1
+        record.updated_at = now
+        self._write_record(record)
+
+    def mark_done(self, record: JobRecord, now: float) -> None:
+        """``running`` → ``done``; requires :meth:`write_done_manifest`
+        to have run first (the write-ahead completion proof)."""
+        record.state = DONE
+        record.error = None
+        record.lease_owner = None
+        record.lease_expires = 0.0
+        record.updated_at = now
+        self._write_record(record)
+
+    def mark_failed(self, record: JobRecord, error: str, now: float) -> None:
+        """Record one failure: ``attempt`` increments durably here."""
+        record.state = FAILED
+        record.attempt += 1
+        record.expiries_served = 0
+        record.error = error
+        record.lease_owner = None
+        record.lease_expires = 0.0
+        record.updated_at = now
+        self._write_record(record)
+
+    def requeue(self, record: JobRecord, now: float) -> None:
+        """``failed`` → ``pending`` for the retry attempt."""
+        record.state = PENDING
+        record.updated_at = now
+        self._write_record(record)
+
+    def dead_letter(self, record: JobRecord, now: float) -> None:
+        """Quarantine an exhausted job: terminal, never dropped.
+
+        The record flips to ``dead-letter`` in ``jobs/`` (so status and
+        dependents see it) and a full copy — error, attempts, spec —
+        lands in ``dead-letter/<job>.json`` for the operator.
+        """
+        record.state = DEAD_LETTER
+        record.lease_owner = None
+        record.lease_expires = 0.0
+        record.updated_at = now
+        self._write_record(record)
+        payload = {
+            "format": RECORD_FORMAT,
+            "job_id": record.job_id,
+            "attempts": record.attempt,
+            "error": record.error,
+        }
+        atomic_write_bytes(
+            self.dead_letter_dir / f"{record.job_id}.json",
+            json.dumps(payload, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+    def mark_degraded(
+        self, record: JobRecord, state: str, upstream: str, now: float
+    ) -> None:
+        """Terminal degradation of a dependent (``skipped``/``blocked``)."""
+        record.state = state
+        record.error = f"degraded: upstream {upstream} did not complete"
+        record.updated_at = now
+        self._write_record(record)
+
+    # ------------------------------------------------------------------
+    # Artifact manifests
+    # ------------------------------------------------------------------
+    def write_done_manifest(
+        self,
+        job_id: str,
+        attempt: int,
+        artifacts: Dict[str, Path],
+        extra: Optional[dict] = None,
+    ) -> None:
+        """Write ``DONE.json``: the write-ahead completion proof.
+
+        Records each artifact's size and sha256, so a resumed
+        orchestrator (or a dependent job) can verify the outputs it is
+        about to trust.  Deliberately carries no clock values — artifact
+        bytes must be identical across kill/resume.
+        """
+        manifest: Dict[str, object] = {
+            "format": DONE_FORMAT,
+            "job_id": job_id,
+            "attempt": attempt,
+            "artifacts": {
+                name: {
+                    "bytes": path.stat().st_size,
+                    "sha256": hashlib.sha256(path.read_bytes()).hexdigest(),
+                }
+                for name, path in sorted(artifacts.items())
+            },
+        }
+        if extra:
+            manifest.update(extra)
+        atomic_write_bytes(
+            self.done_path(job_id),
+            json.dumps(manifest, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+    def read_done_manifest(self, job_id: str) -> Optional[dict]:
+        """The job's ``DONE.json`` if present, schema-valid, and with
+        every listed artifact matching its recorded checksum."""
+        try:
+            manifest = json.loads(self.done_path(job_id).read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != DONE_FORMAT
+            or manifest.get("job_id") != job_id
+            or not isinstance(manifest.get("attempt"), int)
+            or not isinstance(manifest.get("artifacts"), dict)
+        ):
+            return None
+        for name, meta in manifest["artifacts"].items():
+            path = self.artifact_dir(job_id) / name
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                return None
+            if (
+                not isinstance(meta, dict)
+                or meta.get("bytes") != len(raw)
+                or meta.get("sha256")
+                != hashlib.sha256(raw).hexdigest()
+            ):
+                return None
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Read-only views (status reporting)
+    # ------------------------------------------------------------------
+    def load_records(self, plan: FleetPlan) -> List[JobRecord]:
+        """Current records in plan order, without repairing anything.
+
+        Unreadable records surface as pending placeholders with an
+        ``error`` naming the damage — status must never crash on a
+        half-written queue.
+        """
+        records: List[JobRecord] = []
+        for spec in plan.jobs:
+            path = self.record_path(spec.job_id)
+            try:
+                raw = path.read_bytes()
+                head, _, body = raw.partition(b"\n")
+                header = json.loads(head.decode("utf-8"))
+                if header.get("sha256") != hashlib.sha256(body).hexdigest():
+                    raise ValueError("checksum mismatch")
+                records.append(
+                    JobRecord.from_body(json.loads(body.decode("utf-8")))
+                )
+            except Exception as exc:  # noqa: BLE001 - diagnostic path
+                records.append(
+                    JobRecord(
+                        job_id=spec.job_id,
+                        state=PENDING,
+                        error=f"unreadable record ({type(exc).__name__})",
+                    )
+                )
+        return records

@@ -7,7 +7,7 @@ function of the plan's seed and a backend-independent coordinate, so two
 runs with the same ``(scenario seed, plan)`` experience byte-identical
 failure histories — on any backend, at any worker count.
 
-Three fault families are supported:
+Four fault families are supported:
 
 * **Worker crashes** — a shard attempt raises
   :class:`~repro.errors.InjectedWorkerCrash` at the shard boundary,
@@ -26,10 +26,20 @@ Three fault families are supported:
   deterministic as the base failure schedule — the crawl *degrades*, it
   never diverges.
 
-Injection points are shard boundaries and network draws — both
-backend-independent by construction — which is what lets the invariant
-harness (``tests/test_invariants.py``) assert exact equality between
-runs rather than mere statistical similarity.
+* **Orchestrator faults** — fleet-level chaos for
+  :mod:`repro.orchestrator`: *runner crashes* (a job attempt dies at
+  the job boundary and is retried with backoff), *lease-expiry storms*
+  (a freshly granted lease is lost before the job runs, forcing a
+  re-lease of the same attempt), and *queue-write tears* (a job-record
+  state transition hits disk torn, exercising the queue's checksum
+  recovery).  All three are pure functions of ``(plan seed, job id,
+  attempt)``, so every chaos schedule converges to the same final
+  stores and canonical metrics (enforced by ``tests/test_orchestrator``).
+
+Injection points are shard boundaries, network draws, and job-record
+transitions — all backend-independent by construction — which is what
+lets the invariant harness (``tests/test_invariants.py``) assert exact
+equality between runs rather than mere statistical similarity.
 """
 
 from __future__ import annotations
@@ -44,6 +54,13 @@ from ..netsim.network import HostCondition
 #: Fault kinds returned by :meth:`FaultPlan.shard_fault`.
 CRASH = "crash"
 TIMEOUT = "timeout"
+
+#: Fault kinds returned by :meth:`FaultPlan.job_fault`.
+JOB_CRASH = "job-crash"
+
+#: Cap on consecutive injected lease expiries per (job, attempt) — a
+#: storm delays a job, it never starves one forever.
+MAX_INJECTED_EXPIRIES = 3
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,6 +83,14 @@ class FaultPlan:
             surge weeks.
         surge_server_error_rate: Extra per-request 5xx probability
             during surge weeks.
+        job_crash_rate: Probability an orchestrator *job attempt*
+            crashes at the job boundary, before any shard runs.
+        lease_expiry_rate: Per-draw probability a freshly granted job
+            lease is lost before the job executes (drawn repeatedly,
+            capped at :data:`MAX_INJECTED_EXPIRIES` per attempt).
+        queue_tear_rate: Probability a job-record state transition is
+            written torn (truncated mid-body), forcing the queue's
+            checksum recovery path.
     """
 
     seed: int = 0
@@ -75,6 +100,9 @@ class FaultPlan:
     surge_connect_failure_rate: float = 0.0
     surge_timeout_rate: float = 0.0
     surge_server_error_rate: float = 0.0
+    job_crash_rate: float = 0.0
+    lease_expiry_rate: float = 0.0
+    queue_tear_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -83,6 +111,9 @@ class FaultPlan:
             "surge_connect_failure_rate",
             "surge_timeout_rate",
             "surge_server_error_rate",
+            "job_crash_rate",
+            "lease_expiry_rate",
+            "queue_tear_rate",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -129,6 +160,63 @@ class FaultPlan:
     def injects_shard_faults(self) -> bool:
         return bool(self.crash_rate or self.timeout_rate)
 
+    @property
+    def injects_job_faults(self) -> bool:
+        """Whether any orchestrator-level fault channel is armed."""
+        return bool(
+            self.job_crash_rate or self.lease_expiry_rate or self.queue_tear_rate
+        )
+
+    # ------------------------------------------------------------------
+    # Orchestrator-level draws (repro.orchestrator)
+    # ------------------------------------------------------------------
+    def job_fault(self, job_id: str, attempt: int) -> Optional[str]:
+        """The planned fault for one job attempt, if any.
+
+        Returns ``"job-crash"`` or ``None``.  Pure in ``(plan, job_id,
+        attempt)`` — scheduling order and process restarts can never
+        change the answer, which is what lets a killed-and-resumed
+        fleet converge to the uninterrupted fleet's retry history.
+        """
+        if self.job_crash_rate and (
+            self._draw(f"job:{job_id}", attempt, "job-crash")
+            < self.job_crash_rate
+        ):
+            return JOB_CRASH
+        return None
+
+    def planned_lease_expiries(self, job_id: str, attempt: int) -> int:
+        """How many injected lease expiries this job attempt must serve.
+
+        Consecutive draws below ``lease_expiry_rate`` count, capped at
+        :data:`MAX_INJECTED_EXPIRIES`; the queue persists how many it
+        has served in the job record, so the storm replays identically
+        across kill/resume.
+        """
+        if not self.lease_expiry_rate:
+            return 0
+        count = 0
+        while count < MAX_INJECTED_EXPIRIES and (
+            self._draw(f"job:{job_id}", attempt, f"lease-expiry:{count}")
+            < self.lease_expiry_rate
+        ):
+            count += 1
+        return count
+
+    def tears_write(self, job_id: str, state: str, attempt: int) -> bool:
+        """Whether the first write of this job-state transition tears.
+
+        Recovery rewrites are always clean (the queue marks them), so a
+        planned tear fires exactly once per ``(job, state, attempt)``
+        triple and the recovery sequence is deterministic.
+        """
+        if not self.queue_tear_rate:
+            return False
+        return (
+            self._draw(f"job:{job_id}|state:{state}", attempt, "queue-tear")
+            < self.queue_tear_rate
+        )
+
     # ------------------------------------------------------------------
     def describe(self) -> str:
         parts = [f"seed={self.seed}"]
@@ -146,6 +234,12 @@ class FaultPlan:
                 parts.append(f"surgetimeout={self.surge_timeout_rate:g}")
             if self.surge_server_error_rate:
                 parts.append(f"surge5xx={self.surge_server_error_rate:g}")
+        if self.job_crash_rate:
+            parts.append(f"jobcrash={self.job_crash_rate:g}")
+        if self.lease_expiry_rate:
+            parts.append(f"leasestorm={self.lease_expiry_rate:g}")
+        if self.queue_tear_rate:
+            parts.append(f"queuetear={self.queue_tear_rate:g}")
         return ",".join(parts)
 
     @classmethod
@@ -158,7 +252,13 @@ class FaultPlan:
 
         Keys: ``seed``, ``crash``, ``timeout``, ``weeks`` (one ordinal or
         an inclusive ``lo-hi`` range), ``surgeconnect``, ``surgetimeout``,
-        ``surge5xx``.
+        ``surge5xx``, ``jobcrash``, ``leasestorm``, ``queuetear``.
+
+        Every parse failure is a typed
+        :class:`~repro.errors.ConfigError` naming the offending token —
+        malformed tokens, unknown or duplicate keys, non-numeric or
+        out-of-range values, and empty/negative week ranges all refuse
+        with a one-line diagnosis; a bare ``ValueError`` never escapes.
         """
         fields = {
             "seed": 0,
@@ -168,15 +268,21 @@ class FaultPlan:
             "surge_connect_failure_rate": 0.0,
             "surge_timeout_rate": 0.0,
             "surge_server_error_rate": 0.0,
+            "job_crash_rate": 0.0,
+            "lease_expiry_rate": 0.0,
+            "queue_tear_rate": 0.0,
         }
-        aliases = {
-            "seed": "seed",
+        rate_aliases = {
             "crash": "crash_rate",
             "timeout": "timeout_rate",
             "surgeconnect": "surge_connect_failure_rate",
             "surgetimeout": "surge_timeout_rate",
             "surge5xx": "surge_server_error_rate",
+            "jobcrash": "job_crash_rate",
+            "leasestorm": "lease_expiry_rate",
+            "queuetear": "queue_tear_rate",
         }
+        seen = set()
         for token in spec.split(","):
             token = token.strip()
             if not token:
@@ -188,28 +294,67 @@ class FaultPlan:
             key, _, raw = token.partition("=")
             key = key.strip().lower()
             raw = raw.strip()
-            try:
-                if key == "weeks":
-                    if "-" in raw:
-                        lo_s, _, hi_s = raw.partition("-")
-                        lo, hi = int(lo_s), int(hi_s)
-                    else:
-                        lo = hi = int(raw)
-                    if hi < lo:
-                        raise ValueError("empty week range")
-                    fields["surge_weeks"] = tuple(range(lo, hi + 1))
-                elif key == "seed":
-                    fields["seed"] = int(raw)
-                elif key in aliases:
-                    fields[aliases[key]] = float(raw)
-                else:
-                    raise ConfigError(
-                        f"unknown fault-plan key {key!r}; expected one of "
-                        f"seed, crash, timeout, weeks, surgeconnect, "
-                        f"surgetimeout, surge5xx"
-                    )
-            except ValueError as exc:
+            if key in seen:
                 raise ConfigError(
-                    f"bad fault-plan value {raw!r} for {key!r}: {exc}"
-                ) from None
+                    f"duplicate fault-plan key in token {token!r}; "
+                    f"{key!r} was already given"
+                )
+            seen.add(key)
+            if key == "weeks":
+                fields["surge_weeks"] = cls._parse_week_range(token, raw)
+            elif key == "seed":
+                try:
+                    fields["seed"] = int(raw)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad fault-plan token {token!r}: seed must be an "
+                        f"integer, got {raw!r}"
+                    ) from None
+            elif key in rate_aliases:
+                try:
+                    rate = float(raw)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad fault-plan value {raw!r} in token {token!r}: "
+                        f"{key} must be a number"
+                    ) from None
+                if not 0.0 <= rate <= 1.0:
+                    raise ConfigError(
+                        f"bad fault-plan token {token!r}: {key} must be a "
+                        f"probability in 0..1, got {raw!r}"
+                    )
+                fields[rate_aliases[key]] = rate
+            else:
+                raise ConfigError(
+                    f"unknown fault-plan key {key!r} in token {token!r}; "
+                    f"expected one of seed, crash, timeout, weeks, "
+                    f"surgeconnect, surgetimeout, surge5xx, jobcrash, "
+                    f"leasestorm, queuetear"
+                )
         return cls(**fields)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _parse_week_range(token: str, raw: str) -> Tuple[int, ...]:
+        """Parse ``weeks=N`` or ``weeks=LO-HI`` with typed diagnostics."""
+        try:
+            if "-" in raw:
+                lo_s, _, hi_s = raw.partition("-")
+                lo, hi = int(lo_s), int(hi_s)
+            else:
+                lo = hi = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"bad fault-plan value {raw!r} in token {token!r}: weeks "
+                f"must be one ordinal or an inclusive LO-HI range"
+            ) from None
+        if lo < 0:
+            raise ConfigError(
+                f"bad fault-plan value {raw!r} in token {token!r}: week "
+                f"ordinals must be >= 0"
+            )
+        if hi < lo:
+            raise ConfigError(
+                f"bad fault-plan value {raw!r} in token {token!r}: empty "
+                f"week range ({lo}-{hi})"
+            )
+        return tuple(range(lo, hi + 1))

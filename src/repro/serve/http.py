@@ -8,7 +8,9 @@ suite never needs a socket and the socket path needs almost no tests.
 
 from __future__ import annotations
 
+import signal
 import sys
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
@@ -115,10 +117,24 @@ def run_server(options) -> int:
         f"listening on http://{host}:{port}/",
         file=sys.stderr,
     )
+    # Graceful shutdown on SIGTERM (the signal process managers send):
+    # stop accepting, drain in-flight requests, close the socket, exit
+    # 0 — same path Ctrl-C takes.  ``server.shutdown`` blocks until the
+    # serve loop exits, so the handler must call it from another thread.
+    previous = None
+    if threading.current_thread() is threading.main_thread():
+
+        def _terminate(signum, frame):  # noqa: ARG001 - signal signature
+            print("repro-serve: SIGTERM received, draining", file=sys.stderr)
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
     return 0

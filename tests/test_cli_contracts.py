@@ -1,0 +1,258 @@
+"""CLI exit-code contracts across ``repro``, ``repro serve``,
+``repro orchestrate``.
+
+The contract: bad flags and bad configuration exit 2 with a one-line
+typed ``error:`` message on stderr — never a traceback; degraded but
+*complete* work (dead-lettered jobs with dependents degraded per
+policy) exits 0 with a stderr report, because nothing was dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.errors import ConfigError, JobExecutionError
+from repro.runtime.faults import FaultPlan
+
+
+def _cli(*argv: str) -> subprocess.CompletedProcess:
+    """Run the real console entry in a subprocess (traceback checks
+    need the interpreter's actual stderr, not capsys)."""
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+# ----------------------------------------------------------------------
+# Bad flags: argparse's exit-2 surface
+# ----------------------------------------------------------------------
+class TestBadFlags:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--no-such-flag"],
+            ["run", "--backend", "quantum"],
+            ["serve", "--port", "not-a-port"],
+            ["orchestrate", "explode", "--queue-dir", "/tmp/x"],
+            ["orchestrate", "run", "--degrade-policy", "shrug"],
+            ["no-such-command"],
+        ],
+    )
+    def test_unknown_flags_exit_2(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_out_of_range_serve_options_exit_2(self, capsys):
+        assert main(["serve", "--store", "x.bin", "--port", "99999"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_orchestrate_requires_queue_dir(self, capsys):
+        assert main(["orchestrate", "run"]) == 2
+        assert "--queue-dir" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Satellite: FaultPlan.from_spec error paths are typed and name tokens
+# ----------------------------------------------------------------------
+class TestFaultPlanSpecErrors:
+    @pytest.mark.parametrize(
+        "spec, needle",
+        [
+            ("bogus=1", "unknown fault-plan key"),
+            ("crash", "expected key=value"),
+            ("crash=lots", "in token 'crash=lots'"),
+            ("crash=2", "probability in 0..1"),
+            ("seed=x", "token 'seed=x'"),
+            ("weeks=5-2", "empty week range"),
+            ("weeks=a-b", "in token 'weeks=a-b'"),
+            ("crash=0.1,crash=0.2", "duplicate fault-plan key"),
+            ("jobcrash=9", "probability in 0..1"),
+            ("leasestorm=-1", "probability in 0..1"),
+            ("queuetear=nope", "in token 'queuetear=nope'"),
+        ],
+    )
+    def test_malformed_specs_raise_typed_config_errors(self, spec, needle):
+        with pytest.raises(ConfigError, match="fault-plan") as excinfo:
+            FaultPlan.from_spec(spec)
+        assert needle in str(excinfo.value)
+
+    def test_cli_reports_bad_spec_without_traceback(self):
+        proc = _cli("run", "--fault-plan", "crash=lots")
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+        assert "crash=lots" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_round_trip_describe_to_from_spec(self):
+        plan = FaultPlan(
+            seed=3,
+            job_crash_rate=0.4,
+            lease_expiry_rate=0.5,
+            queue_tear_rate=0.25,
+        )
+        assert FaultPlan.from_spec(plan.describe()) == plan
+
+
+# ----------------------------------------------------------------------
+# Satellite: --plan-from error paths exit 2, one line, no traceback
+# ----------------------------------------------------------------------
+class TestPlanFromErrors:
+    def _run(self, metrics_path: str) -> subprocess.CompletedProcess:
+        return _cli(
+            "run",
+            "--population", "30",
+            "--weeks", "2",
+            "--workers", "2",
+            "--plan-from", metrics_path,
+        )
+
+    def _assert_clean_failure(self, proc, needle: str) -> None:
+        assert proc.returncode == 2
+        error_lines = [
+            line for line in proc.stderr.splitlines()
+            if line.startswith("error:")
+        ]
+        assert len(error_lines) == 1, proc.stderr
+        assert needle in error_lines[0]
+        assert "Traceback" not in proc.stderr
+        assert "Traceback" not in proc.stdout
+
+    def test_missing_metrics_file(self, tmp_path):
+        proc = self._run(str(tmp_path / "nope.json"))
+        self._assert_clean_failure(proc, "cannot read plan-from metrics")
+
+    def test_unreadable_metrics_file(self, tmp_path):
+        bad = tmp_path / "garbage.json"
+        bad.write_text("{not json!")
+        proc = self._run(str(bad))
+        self._assert_clean_failure(proc, "not a JSON document")
+
+    def test_schema_invalid_metrics_file(self, tmp_path):
+        bad = tmp_path / "wrong-format.json"
+        bad.write_text(json.dumps({"format": 999}))
+        proc = self._run(str(bad))
+        self._assert_clean_failure(proc, "format")
+
+
+# ----------------------------------------------------------------------
+# Orchestrate: run/status contract
+# ----------------------------------------------------------------------
+class TestOrchestrateContract:
+    _FLAGS = [
+        "--population", "24",
+        "--ticks", "2",
+        "--weeks-per-tick", "1",
+        "--max-job-retries", "0",
+    ]
+
+    def test_status_on_missing_queue_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["orchestrate", "status", "--queue-dir", str(tmp_path / "no")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_plan_mismatch_on_resume_exits_2(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        argv = ["orchestrate", "run", "--queue-dir", queue_dir, *self._FLAGS]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main([*argv, "--seed", "99"]) == 2
+        assert "different fleet" in capsys.readouterr().err
+
+    def test_degraded_but_complete_exits_0_with_stderr_report(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.orchestrator.runner import JobRunner
+
+        original = JobRunner.execute
+
+        def failing(self, spec):
+            if spec.job_id == "crawl-001":
+                raise JobExecutionError(spec.job_id, "induced failure")
+            return original(self, spec)
+
+        monkeypatch.setattr(JobRunner, "execute", failing)
+        code = main(
+            [
+                "orchestrate", "run",
+                "--queue-dir", str(tmp_path / "q"),
+                *self._FLAGS,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0  # every job terminal, nothing dropped
+        assert "dead-letter crawl-001" in captured.err
+        assert "skipped" in captured.err
+
+    def test_status_after_run_reports_every_job(self, tmp_path, capsys):
+        queue_dir = str(tmp_path / "q")
+        assert main(
+            ["orchestrate", "run", "--queue-dir", queue_dir, *self._FLAGS]
+        ) == 0
+        capsys.readouterr()
+        assert main(["orchestrate", "status", "--queue-dir", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "crawl-000" in out and "serve-001" in out
+        assert "8 done" in out
+
+
+# ----------------------------------------------------------------------
+# Serve: graceful shutdown contract
+# ----------------------------------------------------------------------
+class TestServeShutdown:
+    def test_sigterm_drains_and_exits_0(self, tmp_path):
+        import signal
+        import time
+
+        from repro import ScenarioConfig, Study
+        from repro.crawler.persistence import save_store
+
+        study = Study(ScenarioConfig(population=20, seed=5))
+        study.run(weeks=study.config.calendar.weeks[:2])
+        store_path = tmp_path / "store.bin"
+        save_store(study.store, store_path)
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--store", str(store_path), "--port", "0",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # Wait for the startup banner so the serve loop is live.
+            deadline = time.monotonic() + 60
+            banner = ""
+            while "listening on" not in banner:
+                assert time.monotonic() < deadline
+                banner += proc.stderr.readline()
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup path
+                proc.kill()
+        assert code == 0
+        remainder = proc.stderr.read()
+        assert "SIGTERM received, draining" in remainder

@@ -1,0 +1,506 @@
+"""Durable multi-run orchestrator: queue, DAG, chaos convergence.
+
+The contract under test (extending the single-run ledger guarantees to
+fleets): a fleet of chained jobs killed at any point — including a hard
+process abort — and resumed from its queue directory produces final
+stores, canonical fleet metrics, and serve-refresh bytes identical to
+the uninterrupted fleet, on every execution backend; exhausted-retry
+jobs land in the dead-letter queue with their dependents degraded per
+policy, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.errors import ConfigError, JobExecutionError, QueueError
+from repro.orchestrator import (
+    DEAD_LETTER,
+    DONE,
+    FleetPlan,
+    JobQueue,
+    Orchestrator,
+    status_lines,
+)
+from repro.orchestrator.queue import BLOCKED, PENDING, SKIPPED
+from repro.orchestrator.runner import JobRunner
+
+_POPULATION = 24
+_SEED = 7
+_CHAOS = "seed=3,jobcrash=0.4,leasestorm=0.5,queuetear=0.5"
+
+
+def _plan(**overrides) -> FleetPlan:
+    defaults = dict(
+        population=_POPULATION,
+        seed=_SEED,
+        ticks=2,
+        weeks_per_tick=2,
+        max_job_retries=2,
+    )
+    defaults.update(overrides)
+    return FleetPlan.build(**defaults)
+
+
+def _artifact_digests(root: Path, include_metrics: bool = True) -> dict:
+    """sha256 per artifact file under the queue, keyed by relative path.
+
+    ``include_metrics=False`` drops the crawl ``metrics.json``
+    documents: those are byte-stable for a *fixed* execution config
+    (including across kill/resume) but legitimately describe the
+    execution — an unsharded serial crawl and a sharded one record
+    different planner/dispatch telemetry.  The dataset artifacts
+    (stores, analyses, reports, serve snapshots) must match across
+    backends unconditionally.
+    """
+    digests = {}
+    art_root = root / "artifacts"
+    for path in sorted(art_root.rglob("*")):
+        if not path.is_file() or path.name == "DONE.json":
+            continue
+        if not include_metrics and path.name == "metrics.json":
+            continue
+        digests[str(path.relative_to(art_root))] = hashlib.sha256(
+            path.read_bytes()
+        ).hexdigest()
+    return digests
+
+
+# ----------------------------------------------------------------------
+# FleetPlan
+# ----------------------------------------------------------------------
+class TestFleetPlan:
+    def test_dag_layout_per_tick(self):
+        plan = _plan(ticks=3)
+        assert len(plan.jobs) == 12
+        analyses = plan.job("analyses-001")
+        assert analyses.hard_deps == ("crawl-001",)
+        serve = plan.job("serve-002")
+        assert serve.hard_deps == ("crawl-002", "report-002")
+        # Ticks chain through soft (profile-warmth) edges only.
+        assert plan.job("crawl-002").soft_deps == ("crawl-001",)
+        assert plan.job("crawl-000").soft_deps == ()
+
+    def test_round_trip_preserves_digest(self):
+        plan = _plan(fault_spec=_CHAOS, degrade_policy="run-stale")
+        clone = FleetPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert clone.digest() == plan.digest()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(ticks=0),
+            dict(weeks_per_tick=0),
+            dict(degrade_policy="retry-forever"),
+            dict(max_job_retries=-1),
+            dict(lease_seconds=0.0),
+        ],
+    )
+    def test_invalid_plans_are_config_errors(self, overrides):
+        with pytest.raises(ConfigError):
+            _plan(**overrides)
+
+
+# ----------------------------------------------------------------------
+# JobQueue durability
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_fresh_open_initializes_pending_records(self, tmp_path):
+        plan = _plan()
+        queue = JobQueue(tmp_path / "q")
+        scan = queue.open(plan)
+        assert not scan.resumed
+        assert set(scan.records) == {spec.job_id for spec in plan.jobs}
+        assert all(r.state == PENDING for r in scan.records.values())
+
+    def test_reopen_with_different_plan_is_refused(self, tmp_path):
+        root = tmp_path / "q"
+        JobQueue(root).open(_plan())
+        with pytest.raises(QueueError, match="different fleet"):
+            JobQueue(root).open(_plan(ticks=3))
+
+    def test_dead_owner_lease_is_reclaimed_same_attempt(self, tmp_path):
+        plan = _plan()
+        queue = JobQueue(tmp_path / "q")
+        scan = queue.open(plan)
+        record = scan.records["crawl-000"]
+        record.attempt = 2
+        queue.lease(record, "orchestrator-99999", now=5.0)
+        queue.mark_running(record, now=5.0)
+        # A new orchestrator over the same directory: the old holder is
+        # provably dead, the lease is reclaimed, the attempt survives.
+        rescan = JobQueue(tmp_path / "q").open(plan, now=80.0)
+        assert rescan.reclaimed == 1
+        reclaimed = rescan.records["crawl-000"]
+        assert reclaimed.state == PENDING
+        assert reclaimed.attempt == 2
+        assert reclaimed.lease_owner is None
+
+    def test_torn_record_is_quarantined_and_rebuilt(self, tmp_path):
+        plan = _plan()
+        root = tmp_path / "q"
+        queue = JobQueue(root)
+        scan = queue.open(plan)
+        record = scan.records["crawl-000"]
+        record.attempt = 1
+        queue.mark_failed(record, "CrawlError: boom", now=1.0)
+        # Tear the body mid-write: header survives, body is truncated.
+        path = queue.record_path("crawl-000")
+        raw = path.read_bytes()
+        head, _, body = raw.partition(b"\n")
+        path.write_bytes(head + b"\n" + body[: len(body) // 2])
+
+        rescan = JobQueue(root).open(plan)
+        assert rescan.quarantined == 1
+        rebuilt = rescan.records["crawl-000"]
+        # State + attempt come from the surviving header line.
+        assert rebuilt.state == "failed"
+        assert rebuilt.attempt == 2
+        assert rebuilt.error == "(recovered from torn record)"
+        assert list((root / "quarantine").iterdir())
+
+    def test_torn_done_record_recovers_from_done_manifest(self, tmp_path):
+        plan = _plan()
+        root = tmp_path / "q"
+        queue = JobQueue(root)
+        scan = queue.open(plan)
+        record = scan.records["crawl-000"]
+        artifact = queue.artifact_dir("crawl-000") / "out.bin"
+        artifact.parent.mkdir(parents=True)
+        artifact.write_bytes(b"payload")
+        queue.write_done_manifest("crawl-000", 0, {"out.bin": artifact})
+        queue.mark_done(record, now=3.0)
+        path = queue.record_path("crawl-000")
+        raw = path.read_bytes()
+        head, _, body = raw.partition(b"\n")
+        path.write_bytes(head + b"\n" + body[:4])
+
+        rescan = JobQueue(root).open(plan)
+        assert rescan.quarantined == 1
+        assert rescan.records["crawl-000"].state == DONE
+
+    def test_done_manifest_rejects_tampered_artifacts(self, tmp_path):
+        plan = _plan()
+        queue = JobQueue(tmp_path / "q")
+        queue.open(plan)
+        artifact = queue.artifact_dir("crawl-000") / "out.bin"
+        artifact.parent.mkdir(parents=True)
+        artifact.write_bytes(b"payload")
+        queue.write_done_manifest("crawl-000", 0, {"out.bin": artifact})
+        assert queue.read_done_manifest("crawl-000") is not None
+        artifact.write_bytes(b"tampered!")
+        assert queue.read_done_manifest("crawl-000") is None
+
+    def test_dead_letter_writes_operator_copy(self, tmp_path):
+        plan = _plan()
+        queue = JobQueue(tmp_path / "q")
+        scan = queue.open(plan)
+        record = scan.records["crawl-000"]
+        record.attempt = 3
+        record.error = "JobExecutionError: job crawl-000 failed: boom"
+        queue.dead_letter(record, now=9.0)
+        copy = json.loads(
+            (queue.dead_letter_dir / "crawl-000.json").read_text()
+        )
+        assert copy["attempts"] == 3
+        assert "boom" in copy["error"]
+        assert queue.read_done_manifest("crawl-000") is None
+
+
+# ----------------------------------------------------------------------
+# Fleet execution (shared fixtures: fleets are the expensive part)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def clean_fleet(tmp_path_factory):
+    """An uninterrupted fault-free fleet: the reference artifacts."""
+    root = tmp_path_factory.mktemp("clean") / "q"
+    orchestrator = Orchestrator(root, _plan())
+    records = orchestrator.run()
+    return root, records, orchestrator
+
+
+@pytest.fixture(scope="module")
+def chaos_fleet(tmp_path_factory):
+    """An uninterrupted fleet under the full chaos schedule."""
+    root = tmp_path_factory.mktemp("chaos") / "q"
+    orchestrator = Orchestrator(root, _plan(fault_spec=_CHAOS))
+    records = orchestrator.run()
+    return root, records, orchestrator
+
+
+class TestFleetExecution:
+    def test_all_jobs_done_with_artifacts(self, clean_fleet):
+        root, records, _ = clean_fleet
+        assert all(r.state == DONE for r in records.values())
+        for tick in ("000", "001"):
+            art = root / "artifacts"
+            assert (art / f"crawl-{tick}" / "store.bin").exists()
+            assert (art / f"crawl-{tick}" / "metrics.json").exists()
+            assert (art / f"analyses-{tick}" / "analyses.json").exists()
+            assert (art / f"report-{tick}" / "report.txt").exists()
+            assert (art / f"serve-{tick}" / "serve" / "index.json").exists()
+
+    def test_second_tick_reuses_first_ticks_profiles(self, clean_fleet):
+        root, _, _ = clean_fleet
+        metrics = json.loads(
+            (root / "artifacts" / "crawl-001" / "metrics.json").read_text()
+        )
+        counters = metrics["execution"]["counters"]
+        hits = counters.get("profile_store.hits", 0)
+        misses = counters.get("profile_store.misses", 0)
+        # Tick 1 re-crawls tick 0's window plus new weeks: more than
+        # half its profile renders must come from tick 0's generation.
+        assert hits / (hits + misses) > 0.5
+
+    def test_rerun_over_finished_queue_is_idempotent(self, clean_fleet):
+        root, _, _ = clean_fleet
+        before = _artifact_digests(root)
+        metrics_before = (root / "fleet-metrics.json").read_bytes()
+        records = Orchestrator(root, _plan()).run()
+        assert all(r.state == DONE for r in records.values())
+        assert _artifact_digests(root) == before
+        assert (root / "fleet-metrics.json").read_bytes() == metrics_before
+
+    def test_status_lines_render_without_mutating(self, clean_fleet):
+        root, _, _ = clean_fleet
+        lines = status_lines(root)
+        assert any("crawl-001" in line and "done" in line for line in lines)
+        assert lines[-1].startswith("total: 8 jobs")
+
+    def test_chaos_converges_to_clean_artifacts(
+        self, clean_fleet, chaos_fleet
+    ):
+        clean_root, _, _ = clean_fleet
+        chaos_root, records, orchestrator = chaos_fleet
+        assert all(r.state == DONE for r in records.values())
+        # Retries happened (the chaos schedule is not a no-op)...
+        counters = orchestrator.instruments.counters
+        assert counters.get("orchestrator.job_retries", 0) > 0
+        assert counters.get("orchestrator.lease_expiries", 0) > 0
+        # ...yet every artifact byte matches the fault-free fleet.
+        assert _artifact_digests(chaos_root) == _artifact_digests(clean_root)
+
+    def test_orchestrator_counters_are_recorded(self, chaos_fleet):
+        _, _, orchestrator = chaos_fleet
+        counters = orchestrator.instruments.counters
+        assert counters["orchestrator.jobs_done"] == 8
+        assert counters["orchestrator.opens"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Dead-letter + degrade policies
+# ----------------------------------------------------------------------
+def _failing_execute(fail_job_id):
+    original = JobRunner.execute
+
+    def execute(self, spec):
+        if spec.job_id == fail_job_id:
+            raise JobExecutionError(spec.job_id, "induced permanent failure")
+        return original(self, spec)
+
+    return execute
+
+
+class TestDegradePolicies:
+    def _run_with_failure(self, tmp_path, monkeypatch, policy, fail_job):
+        monkeypatch.setattr(JobRunner, "execute", _failing_execute(fail_job))
+        plan = _plan(degrade_policy=policy, max_job_retries=1)
+        orchestrator = Orchestrator(tmp_path / "q", plan)
+        return orchestrator.run(), orchestrator
+
+    def test_exhausted_job_dead_letters_with_typed_error(
+        self, tmp_path, monkeypatch
+    ):
+        records, orchestrator = self._run_with_failure(
+            tmp_path, monkeypatch, "skip", "crawl-001"
+        )
+        dead = records["crawl-001"]
+        assert dead.state == DEAD_LETTER
+        assert dead.attempt == 2  # initial try + 1 retry
+        assert "JobExecutionError" in dead.error
+        copy = orchestrator.queue.dead_letter_dir / "crawl-001.json"
+        assert copy.exists()
+
+    def test_skip_policy_skips_hard_dependents_transitively(
+        self, tmp_path, monkeypatch
+    ):
+        records, _ = self._run_with_failure(
+            tmp_path, monkeypatch, "skip", "crawl-001"
+        )
+        assert records["analyses-001"].state == SKIPPED
+        assert records["report-001"].state == SKIPPED
+        assert records["serve-001"].state == SKIPPED
+        # Tick 0 is untouched; soft deps never degrade.
+        assert all(
+            records[f"{kind}-000"].state == DONE
+            for kind in ("crawl", "analyses", "report", "serve")
+        )
+
+    def test_block_policy_blocks_dependents(self, tmp_path, monkeypatch):
+        records, _ = self._run_with_failure(
+            tmp_path, monkeypatch, "block", "analyses-001"
+        )
+        assert records["analyses-001"].state == DEAD_LETTER
+        assert records["report-001"].state == BLOCKED
+        assert records["serve-001"].state == BLOCKED
+        assert records["crawl-001"].state == DONE
+
+    def test_run_stale_policy_falls_back_to_earlier_tick(
+        self, tmp_path, monkeypatch
+    ):
+        records, orchestrator = self._run_with_failure(
+            tmp_path, monkeypatch, "run-stale", "crawl-001"
+        )
+        assert records["crawl-001"].state == DEAD_LETTER
+        assert records["analyses-001"].state == DONE
+        assert records["serve-001"].state == DONE
+        # The stale substitution is recorded in the artifact manifests.
+        manifest = orchestrator.queue.read_done_manifest("analyses-001")
+        assert manifest["source"] == "crawl-000"
+        analyses = json.loads(
+            (
+                orchestrator.queue.artifact_dir("analyses-001")
+                / "analyses.json"
+            ).read_text()
+        )
+        assert analyses["source"] == "crawl-000"
+
+    def test_fleet_metrics_account_for_degraded_jobs(
+        self, tmp_path, monkeypatch
+    ):
+        _, orchestrator = self._run_with_failure(
+            tmp_path, monkeypatch, "skip", "crawl-001"
+        )
+        document = json.loads(
+            (orchestrator.queue.root / "fleet-metrics.json").read_text()
+        )
+        assert document["states"]["dead-letter"] == 1
+        assert document["states"]["skipped"] == 3
+        assert document["states"]["done"] == 4
+        assert document["jobs"]["crawl-001"]["attempts"] == 2
+
+
+# ----------------------------------------------------------------------
+# Kill mid-fleet, resume, byte-identical convergence
+# ----------------------------------------------------------------------
+_FLEET_KILL_SCRIPT = """
+import os, sys
+
+limit = int(sys.argv[1])
+qdir = sys.argv[2]
+backend = sys.argv[3]
+
+import repro.orchestrator.queue as queue_mod
+
+writes = 0
+original = queue_mod.JobQueue._write_record
+
+def aborting_write(self, record, allow_tear=True):
+    global writes
+    original(self, record, allow_tear)
+    writes += 1
+    if writes >= limit:
+        os._exit(137)  # hard abort: no cleanup, no atexit, no flush
+
+queue_mod.JobQueue._write_record = aborting_write
+
+from repro.orchestrator import FleetPlan, Orchestrator
+
+plan = FleetPlan.build(
+    population=%d, seed=%d, ticks=2, weeks_per_tick=2,
+    fault_spec=%r, backend=backend if backend != "none" else None,
+    workers=2 if backend != "none" else None,
+)
+Orchestrator(qdir, plan).run()
+os._exit(0)  # only reached if the abort never fired
+""" % (_POPULATION, _SEED, _CHAOS)
+
+
+def _kill_fleet(root: Path, limit: int, backend: str = "none") -> None:
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _FLEET_KILL_SCRIPT,
+            str(limit),
+            str(root),
+            backend,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 137, proc.stderr
+
+
+def _strip_crawl_telemetry(jobs: dict) -> dict:
+    """Fleet-metrics job entries minus the ``metrics.json`` checksums."""
+    stripped = {}
+    for job_id_, entry in jobs.items():
+        entry = dict(entry)
+        if "artifacts" in entry:
+            artifacts = dict(entry["artifacts"])
+            artifacts.pop("metrics.json", None)
+            entry["artifacts"] = artifacts
+        stripped[job_id_] = entry
+    return stripped
+
+
+class TestKillMidFleet:
+    @pytest.mark.parametrize("limit", [12, 61])
+    def test_resumed_fleet_matches_uninterrupted_bytes(
+        self, chaos_fleet, tmp_path, limit
+    ):
+        chaos_root, _, _ = chaos_fleet
+        root = tmp_path / f"killed-{limit}"
+        _kill_fleet(root, limit)
+        # Resume in-process with the identical plan: the queue scan
+        # reclaims the dead process's leases and re-executes from the
+        # per-job checkpoints.
+        records = Orchestrator(root, _plan(fault_spec=_CHAOS)).run()
+        assert all(r.state == DONE for r in records.values())
+        assert _artifact_digests(root) == _artifact_digests(chaos_root)
+        assert (root / "fleet-metrics.json").read_bytes() == (
+            chaos_root / "fleet-metrics.json"
+        ).read_bytes()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_convergence_holds_across_backends(
+        self, chaos_fleet, tmp_path, backend
+    ):
+        """Kill a sharded-backend fleet mid-run; after resume its
+        stores, analyses, reports, and serve-refresh bytes match the
+        serial fleet's exactly."""
+        chaos_root, _, _ = chaos_fleet
+        root = tmp_path / f"killed-{backend}"
+        _kill_fleet(root, 30, backend=backend)
+        plan = _plan(fault_spec=_CHAOS, backend=backend, workers=2)
+        records = Orchestrator(root, plan).run()
+        assert all(r.state == DONE for r in records.values())
+        assert _artifact_digests(
+            root, include_metrics=False
+        ) == _artifact_digests(chaos_root, include_metrics=False)
+        # The fleet metrics share everything but the plan identity and
+        # the crawl telemetry checksums (both cover the backend by
+        # design).
+        ours = json.loads((root / "fleet-metrics.json").read_text())
+        serial = json.loads(
+            (chaos_root / "fleet-metrics.json").read_text()
+        )
+        assert _strip_crawl_telemetry(ours["jobs"]) == (
+            _strip_crawl_telemetry(serial["jobs"])
+        )
+        assert ours["states"] == serial["states"]
+        assert ours["retries"] == serial["retries"]
