@@ -23,10 +23,14 @@ _WEEKS = 10
 
 
 def _timed_full_run(profile_cache):
+    from repro.options import ExecutionOptions, RunOptions
+
     study = Study(
         ScenarioConfig(population=_POPULATION, seed=_SEED),
         mode="full",
-        profile_cache=profile_cache,
+        options=RunOptions(
+            execution=ExecutionOptions(profile_cache=profile_cache)
+        ),
     )
     weeks = study.config.calendar.weeks[:_WEEKS]
     started = time.perf_counter()

@@ -33,15 +33,27 @@ def _timed_run(checkpoint_dir=None, resume=False):
     # Profile cache off: the overhead bound is against a crawl that
     # does real render+fingerprint work per cell, not one whose cells
     # are already near-free cache hits.
+    from repro.options import (
+        DurabilityOptions,
+        ExecutionOptions,
+        RunOptions,
+    )
+
     study = Study(
         ScenarioConfig(population=_POPULATION, seed=_SEED),
         mode="full",
-        workers=2,
-        backend="thread",
-        shard_size=_SHARD_SIZE,
-        profile_cache=False,
-        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
-        resume=resume,
+        options=RunOptions(
+            execution=ExecutionOptions(
+                workers=2,
+                backend="thread",
+                shard_size=_SHARD_SIZE,
+                profile_cache=False,
+            ),
+            durability=DurabilityOptions(
+                checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+                resume=resume,
+            ),
+        ),
     )
     weeks = study.config.calendar.weeks[:_WEEKS]
     started = time.perf_counter()

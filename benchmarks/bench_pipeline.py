@@ -70,10 +70,13 @@ _SCALE_SEED = 20230926
 
 
 def _timed_run(workers, backend):
+    from repro.options import ExecutionOptions, RunOptions
+
     study = Study(
         ScenarioConfig(population=_SCALE_POPULATION, seed=_SCALE_SEED),
-        workers=workers,
-        backend=backend,
+        options=RunOptions(
+            execution=ExecutionOptions(workers=workers, backend=backend)
+        ),
     )
     started = time.perf_counter()
     report = study.run()

@@ -1,0 +1,95 @@
+"""Scenario-pack sweep: per-point wall time and fold overhead.
+
+A sweep expands one grid into N full scenarios, each a crawl +
+analyses pair, plus one fold that merges every point's analyses into
+``fleet-sweep.json``.  Two numbers matter:
+
+* per-point wall time — each grid point pays for a full dataset, so
+  the sweep's cost is the sum of its points; the breakdown shows
+  which pack parameters are expensive;
+* fold overhead — the fold only re-reads small JSON documents, so it
+  must be noise next to the points it merges.
+
+Byte-identical convergence (independent runs, kill/resume) is proven
+in the test suite; here we only measure.
+"""
+
+import os
+import time
+
+from _helpers import record
+
+from repro.orchestrator import DONE, FleetPlan, Orchestrator
+from repro.orchestrator.jobs import job_id
+from repro.orchestrator.runner import JobRunner
+from repro.sweep import SWEEP_DOCUMENT_NAME, SweepSpec
+
+_POPULATION = int(os.environ.get("REPRO_SWEEP_POPULATION", "50"))
+_SEED = 13
+_WEEKS = 2
+_GRID = "baseline;bundled-deps:share=0.3;cve-range-drift:rate=0.3"
+
+
+def _plan() -> FleetPlan:
+    return FleetPlan.build_sweep(
+        SweepSpec.parse(_GRID).points,
+        population=_POPULATION,
+        seed=_SEED,
+        weeks=_WEEKS,
+    )
+
+
+def test_sweep_cold(benchmark, tmp_path, monkeypatch):
+    """Full sweep from an empty queue, timed job by job."""
+    durations = {}
+    original = JobRunner.execute
+
+    def timed_execute(self, spec):
+        started = time.perf_counter()
+        result = original(self, spec)
+        durations[spec.job_id] = time.perf_counter() - started
+        return result
+
+    monkeypatch.setattr(JobRunner, "execute", timed_execute)
+
+    def sweep():
+        orchestrator = Orchestrator(tmp_path / "q", _plan())
+        records = orchestrator.run()
+        assert all(r.state == DONE for r in records.values())
+        return orchestrator
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert (tmp_path / "q" / SWEEP_DOCUMENT_NAME).exists()
+
+    plan = _plan()
+    extra = {"points": len(plan.sweep_points)}
+    point_total = 0.0
+    for tick, point in enumerate(plan.sweep_points):
+        seconds = durations.get(job_id("sweep-crawl", tick), 0.0) + durations.get(
+            job_id("sweep-analyses", tick), 0.0
+        )
+        point_total += seconds
+        extra[f"point_{tick:03d}_seconds"] = round(seconds, 4)
+        extra[f"point_{tick:03d}_label"] = point.describe()
+    fold_seconds = durations.get(job_id("sweep-fold", 0), 0.0)
+    extra["fold_seconds"] = round(fold_seconds, 4)
+    extra["fold_share"] = round(fold_seconds / max(point_total, 1e-9), 4)
+    record(benchmark, **extra)
+    # The fold reads a handful of small JSON files; it must stay well
+    # under the cost of the points it merges.
+    assert fold_seconds < max(point_total, 0.05)
+
+
+def test_sweep_resume_noop(benchmark, tmp_path):
+    """Re-running a finished sweep short-circuits on every DONE.json."""
+    root = tmp_path / "q"
+    Orchestrator(root, _plan()).run()
+    before = (root / SWEEP_DOCUMENT_NAME).read_bytes()
+
+    def resume():
+        return Orchestrator(root, _plan()).run()
+
+    records = benchmark.pedantic(resume, rounds=1, iterations=1)
+    assert all(r.state == DONE for r in records.values())
+    assert (root / SWEEP_DOCUMENT_NAME).read_bytes() == before
+    record(benchmark, jobs=len(_plan().jobs))

@@ -31,8 +31,26 @@ from . import (
     vulnerable,
     wordpress,
 )
+from .api import (
+    Analysis,
+    AnalysisContext,
+    HEADLINE_ANALYSES,
+    available_analyses,
+    get_analysis,
+    register_analysis,
+    run_analyses,
+    to_canonical_dict,
+)
 
 __all__ = [
+    "Analysis",
+    "AnalysisContext",
+    "HEADLINE_ANALYSES",
+    "available_analyses",
+    "get_analysis",
+    "register_analysis",
+    "run_analyses",
+    "to_canonical_dict",
     "overview",
     "landscape",
     "vulnerable",

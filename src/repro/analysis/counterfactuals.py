@@ -150,6 +150,36 @@ BUILTIN_INTERVENTIONS: Dict[str, Transform] = {
 }
 
 
+def _register_counterfactual_pack() -> None:
+    """Expose the interventions as one scenario pack.
+
+    ``repro sweep`` turns the one-off paired comparisons into grid
+    points: ``counterfactual:intervention=universal-auto-update|...``
+    sweeps each arm as its own full scenario, and the fold report
+    compares them against whatever baseline point the grid carries.
+    """
+    from ..scenarios.registry import PackParam, register_pack
+
+    @register_pack(
+        "counterfactual",
+        description="the Section 9 what-if interventions as grid points",
+        params=(
+            PackParam(
+                "intervention",
+                str,
+                "universal-auto-update",
+                "which built-in intervention to apply",
+                choices=tuple(sorted(BUILTIN_INTERVENTIONS)),
+            ),
+        ),
+    )
+    def counterfactual(config: ScenarioConfig, params) -> ScenarioConfig:
+        return BUILTIN_INTERVENTIONS[str(params["intervention"])](config)
+
+
+_register_counterfactual_pack()
+
+
 def evaluate(
     name: str,
     config: ScenarioConfig,

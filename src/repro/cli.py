@@ -34,6 +34,18 @@ Four subcommands::
         :mod:`repro.orchestrator`); the flag group is derived from the
         ``OrchestratorOptions`` dataclass.
 
+    repro sweep {run,status,report} --queue-dir DIR [--grid SPEC] [...]
+        Expand a scenario-pack grid (``--grid
+        'baseline;bundled-deps:share=0.1|0.3'``) into per-point
+        crawl+analyses jobs plus one fold, all on the orchestrator's
+        durable queue, and print the cross-scenario comparison (see
+        :mod:`repro.sweep`); flags derive from ``SweepOptions``.
+
+``repro run`` also accepts ``--scenario-pack NAME`` (with repeatable
+``--pack-param name=value``) to run a single pack-transformed scenario
+— pack selection is dataset identity, so the stamped config flows into
+the store bytes and the run ledger's scenario digest.
+
 Also usable as ``python -m repro.cli ...``.
 """
 
@@ -48,6 +60,7 @@ from .options import (
     add_option_arguments,
     add_orchestrate_arguments,
     add_serve_arguments,
+    add_sweep_arguments,
 )
 
 
@@ -73,6 +86,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = options.resilience.fault_plan
 
     config = ScenarioConfig(population=args.population, seed=args.seed)
+    if args.scenario_pack or args.pack_param:
+        from .scenarios import apply_pack
+
+        params = {}
+        for raw in args.pack_param or []:
+            name, eq, value = raw.partition("=")
+            if not eq or not name:
+                print(
+                    f"error: bad --pack-param {raw!r}; expected name=value",
+                    file=sys.stderr,
+                )
+                return 2
+            params[name] = value
+        try:
+            config = apply_pack(
+                config, args.scenario_pack or "baseline", params
+            )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     study = Study(
         config,
         mode="full" if args.full else "manifest",
@@ -270,6 +303,83 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .errors import ConfigError, OrchestratorError
+    from .options import sweep_options_from_namespace
+
+    try:
+        options = sweep_options_from_namespace(args)
+        spec = options.to_spec()  # surfaces grid errors before any I/O
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not options.queue_dir:
+        print("error: --queue-dir is required", file=sys.stderr)
+        return 2
+
+    from .orchestrator import Orchestrator, status_lines
+    from .sweep import SWEEP_DOCUMENT_NAME, render_sweep_report
+
+    if args.action == "status":
+        try:
+            for line in status_lines(options.queue_dir):
+                print(line)
+        except OrchestratorError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    document_path = Path(options.queue_dir) / SWEEP_DOCUMENT_NAME
+    if args.action == "report":
+        import json
+
+        try:
+            document = json.loads(document_path.read_text())
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: no folded sweep document at {document_path} "
+                f"({type(exc).__name__}: {exc}); run 'repro sweep run' "
+                f"first",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_sweep_report(document))
+        return 0
+
+    try:
+        plan = options.to_plan()
+        orchestrator = Orchestrator(options.queue_dir, plan)
+        records = orchestrator.run()
+    except (ConfigError, OrchestratorError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    done = sum(1 for r in records.values() if r.state == "done")
+    print(
+        f"sweep [{options.queue_dir}]: {len(spec.points)} point(s), "
+        f"{done}/{len(records)} jobs done",
+        file=sys.stderr,
+    )
+    for record in records.values():
+        if record.degraded:
+            print(
+                f"  {record.state} {record.job_id}: {record.error}",
+                file=sys.stderr,
+            )
+    import json
+
+    try:
+        document = json.loads(document_path.read_text())
+    except (OSError, ValueError):
+        print(
+            f"error: sweep finished but no folded document at "
+            f"{document_path}",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_sweep_report(document))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .poclab import ValidationLab
     from .reporting import Table
@@ -329,6 +439,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="crawl only the first N calendar weeks (default: all 201)",
     )
+    run.add_argument(
+        "--scenario-pack",
+        metavar="NAME",
+        default=None,
+        help="apply a registered scenario pack before running (packs "
+        "are dataset identity: the selection is stamped into the "
+        "config and the run ledger's scenario digest)",
+    )
+    run.add_argument(
+        "--pack-param",
+        metavar="NAME=VALUE",
+        action="append",
+        default=None,
+        help="override one declared pack parameter (repeatable; "
+        "implies --scenario-pack, defaulting to 'baseline')",
+    )
     # Every run-option flag (--workers, --backend, --fault-plan,
     # --checkpoint-dir, --metrics-out, ...) is derived from the
     # repro.options dataclasses' field metadata.
@@ -359,6 +485,23 @@ def build_parser() -> argparse.ArgumentParser:
     # field metadata, like run/serve above.
     add_orchestrate_arguments(orchestrate)
     orchestrate.set_defaults(func=_cmd_orchestrate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario-pack grid and fold the cross-scenario "
+        "comparison (repro.sweep)",
+    )
+    sweep.add_argument(
+        "action",
+        choices=("run", "status", "report"),
+        help="'run' drives the grid to quiescence and prints the "
+        "comparison; 'status' prints the durable job records; 'report' "
+        "re-renders the folded document without running anything",
+    )
+    # The sweep flag surface is derived from SweepOptions field
+    # metadata, like run/serve/orchestrate above.
+    add_sweep_arguments(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     scan = sub.add_parser("scan", help="scan one HTML file for findings")
     scan.add_argument("file")

@@ -135,6 +135,136 @@ class FlashConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class BundlingConfig:
+    """Vendored/bundled dependencies with transitive inclusion.
+
+    Models the "Insecure Ingredients" phenomenon: sites ship a built
+    application bundle that *vendors* library copies pinned at
+    bundle-build time.  No ``<script src>`` reveals the ingredient — at
+    best the fingerprint engine spots the library's banner comment
+    inside the inline bundle body (the paper's Wappalyzer channel).
+    Bundled ingredients are frozen: the bundle is rebuilt rarely, so a
+    vulnerable pinned version stays on the page for the whole study.
+
+    All defaults are inert (``share=0.0``): the baseline scenario
+    generates byte-identically with this section present.
+
+    Attributes:
+        share: Fraction of JavaScript-using sites shipping a vendored
+            bundle.
+        max_ingredients: Upper bound on vendored libraries per bundle
+            (1..``max_ingredients`` drawn uniformly).
+        detection_rate: Probability a vendored ingredient is
+            fingerprintable at all (banner comment survives
+            minification); undetected ingredients exist only in ground
+            truth — the crawl never sees them.
+        version_visible_rate: Probability a *detected* ingredient's
+            banner still carries its version string.
+        pin_lag_weeks: How many weeks before the study start the bundle
+            was built; ingredients pin the release current at that date.
+    """
+
+    share: float = 0.0
+    max_ingredients: int = 2
+    detection_rate: float = 0.55
+    version_visible_rate: float = 0.7
+    pin_lag_weeks: int = 26
+
+    def __post_init__(self) -> None:
+        for name in ("share", "detection_rate", "version_visible_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a fraction, got {value}")
+        if self.max_ingredients < 1:
+            raise ConfigError("max_ingredients must be >= 1")
+        if self.pin_lag_weeks < 0:
+            raise ConfigError("pin_lag_weeks must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.share > 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CveDriftConfig:
+    """Seeded mislabeling/drift of CVE affected-version ranges.
+
+    Models the "CVE Breadcrumbs" phenomenon on top of the existing
+    TVV-vs-CVE machinery: a fraction of advisories have their *stated*
+    range drifted away from ground truth (the TVV range is first pinned
+    to the pre-drift best-known range, so the stated-vs-true comparison
+    quantifies exactly the injected mislabeling).  Drift direction is a
+    seeded per-advisory draw: understatement truncates the newest
+    affected releases out of the stated range; overstatement extends the
+    stated range across the patch boundary.
+
+    Defaults are inert (``rate=0.0``): the baseline database is used
+    unchanged.
+
+    Attributes:
+        rate: Fraction of advisories whose stated range drifts.
+        seed: Root seed for the per-advisory drift draws (independent of
+            the scenario seed so the same drift can replay over
+            different webs).
+        understate_bias: Probability a drifted advisory understates
+            (the dangerous direction); the rest overstate.
+        max_shift: Upper bound on how many catalogued releases the
+            stated boundary moves by (1..``max_shift`` drawn per
+            advisory).
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    understate_bias: float = 0.7
+    max_shift: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("rate", "understate_bias"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be a fraction, got {value}")
+        if self.max_shift < 1:
+            raise ConfigError("max_shift must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PackSelection:
+    """Which scenario pack produced this config, with its parameters.
+
+    Part of dataset identity: the selection is carried on the
+    :class:`ScenarioConfig` so the run ledger's ``scenario_digest`` (and
+    through it the orchestrator queue) covers the pack and its resolved
+    parameters — a checkpoint written under one pack refuses to resume
+    under another.  ``params`` is the *fully resolved* parameter set
+    (given values merged over pack defaults), canonicalized as sorted
+    ``(name, json-encoded value)`` pairs so equal selections compare and
+    pickle identically.
+
+    The default selection is the ``baseline`` pack with no parameters —
+    an unset pack and an explicit ``baseline`` are the same identity.
+    """
+
+    name: str = "baseline"
+    params: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("pack selection requires a pack name")
+        if list(self.params) != sorted(self.params):
+            raise ConfigError("pack selection params must be sorted by name")
+
+    def describe(self) -> str:
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({rendered})"
+
+
+@dataclasses.dataclass(frozen=True)
 class SecurityHygieneConfig:
     """SRI / crossorigin adoption (Section 6.5)."""
 
@@ -309,6 +439,12 @@ class ScenarioConfig:
     hygiene: SecurityHygieneConfig = dataclasses.field(
         default_factory=SecurityHygieneConfig
     )
+    #: Vendored-bundle modelling; inert (share=0.0) in the baseline.
+    bundling: BundlingConfig = dataclasses.field(default_factory=BundlingConfig)
+    #: Advisory stated-range drift; inert (rate=0.0) in the baseline.
+    cve_drift: CveDriftConfig = dataclasses.field(default_factory=CveDriftConfig)
+    #: Which scenario pack produced this config (part of dataset identity).
+    pack: PackSelection = dataclasses.field(default_factory=PackSelection)
     calendar: StudyCalendar = dataclasses.field(default_factory=default_calendar)
     #: Execution knobs only — never affects the produced dataset.
     execution: ExecutionConfig = dataclasses.field(default_factory=ExecutionConfig)

@@ -109,10 +109,12 @@ class Study:
         }
         if legacy:
             if options is not None:
+                set_fields = options.non_default_fields() or ("options",)
                 raise ConfigError(
                     "pass run options either as options=RunOptions(...) or "
-                    "as legacy keyword arguments, not both "
-                    f"(got both options= and {', '.join(sorted(legacy))})"
+                    "as legacy keyword arguments, not both (options= sets "
+                    f"{', '.join(set_fields)}; legacy keywords gave "
+                    f"{', '.join(sorted(legacy))})"
                 )
             warnings.warn(
                 "Study's flat keyword arguments "
@@ -125,6 +127,13 @@ class Study:
         self.options = options if options is not None else RunOptions()
         self.config = self.options.apply_to(config or default_scenario())
         self.database = database or default_database()
+        if self.config.cve_drift.enabled:
+            # Scenario-pack drift is dataset identity: the matcher built
+            # below ingests against the drifted stated ranges, so store
+            # bytes change with the drift config (and only then).
+            from ..vulndb.drift import drifted_database
+
+            self.database = drifted_database(self.database, self.config.cve_drift)
         self.matcher = VersionMatcher(self.database)
         self.mode = mode
         self.fault_plan: Optional[FaultPlan] = self.options.resilience.fault_plan
@@ -283,6 +292,27 @@ class Study:
     def hash_audit(self, max_domains: Optional[int] = 200):
         """Section 9 validity experiment."""
         return integrity_check.hash_audit(self.ecosystem, max_domains=max_domains)
+
+    # ------------------------------------------------------------------
+    # Registered-analysis API (repro.analysis.api)
+    # ------------------------------------------------------------------
+    def analysis_context(self):
+        """The :class:`~repro.analysis.AnalysisContext` for this study."""
+        from ..analysis.api import AnalysisContext
+
+        return AnalysisContext(
+            config=self.config, database=self.database, matcher=self.matcher
+        )
+
+    def run_registered(self, names: Optional[Tuple[str, ...]] = None) -> Dict:
+        """Run registered analyses by name → canonical-dict results.
+
+        The uniform path the orchestrator fold and sweep engine use;
+        ``names=None`` runs every registered analysis.
+        """
+        from ..analysis.api import run_analyses
+
+        return run_analyses(self._require_run(), self.analysis_context(), names)
 
     # ------------------------------------------------------------------
     # Headline summary

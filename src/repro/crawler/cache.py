@@ -47,6 +47,7 @@ def site_state_key(manifest: SiteManifest) -> SiteStateKey:
         manifest.extra_scripts,
         manifest.resource_types,
         manifest.flash,
+        manifest.vendored,
     )
 
 

@@ -211,6 +211,26 @@ def profile_from_manifest(
             )
         )
 
+    # Vendored bundle ingredients: the engine's inline-banner channel —
+    # one detection per chunk, skipped when the library was already seen
+    # via a URL, never counted as a <script src>.
+    url_script_count = len(detections)
+    seen = {d.library for d in detections}
+    for vendored in manifest.vendored:
+        if not vendored.detected or vendored.library in seen:
+            continue
+        detections.append(
+            LibraryDetection(
+                library=vendored.library,
+                version=vendored.version if vendored.version_visible else None,
+                source_url="",
+                host=manifest.domain.name,
+                external=False,
+                evidence="inline-banner",
+            )
+        )
+        seen.add(vendored.library)
+
     untrusted = []
     for extra in manifest.extra_scripts:
         host = extra.url.split("//", 1)[1].split("/", 1)[0].lower()
@@ -241,7 +261,7 @@ def profile_from_manifest(
         libraries=tuple(detections),
         flash_embeds=flash_embeds,
         wordpress_version=manifest.wordpress_version,
-        script_count=len(detections) + len(untrusted),
+        script_count=url_script_count + len(untrusted),
         external_script_count=sum(1 for d in detections if d.external) + len(untrusted),
         untrusted_scripts=tuple(untrusted),
     )

@@ -288,6 +288,22 @@ class RunOptions:
         default_factory=ObservabilityOptions
     )
 
+    def non_default_fields(self) -> Tuple[str, ...]:
+        """Dotted names of every field set away from its default.
+
+        Powers the mixing-forms ``ConfigError``: when a caller passes
+        both ``options=`` and legacy keywords, the error names exactly
+        which fields each form tried to set.
+        """
+        names = []
+        for attr, option_cls, _, _ in OPTION_GROUPS:
+            group = getattr(self, attr)
+            defaults = option_cls()
+            for field in dataclasses.fields(option_cls):
+                if getattr(group, field.name) != getattr(defaults, field.name):
+                    names.append(f"{attr}.{field.name}")
+        return tuple(names)
+
     @classmethod
     def from_kwargs(cls, **kwargs) -> "RunOptions":
         """Build options from the legacy flat ``Study`` keyword names."""
@@ -575,6 +591,143 @@ ORCHESTRATE_OPTION_GROUP = (
 
 
 # ----------------------------------------------------------------------
+# Sweep options (repro sweep)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SweepOptions:
+    """How a scenario sweep runs: grid, window, and fleet policy.
+
+    Maps onto :meth:`~repro.orchestrator.FleetPlan.build_sweep`: the
+    grid expands to one crawl+analyses chain per point and a single
+    fold job, all under the orchestrator's durability contract — the
+    folded ``fleet-sweep.json`` is byte-identical across backends and
+    kill/resume.
+    """
+
+    queue_dir: Optional[str] = opt(
+        None,
+        "--queue-dir",
+        metavar="DIR",
+        help="durable queue directory (created on first run; a resumed "
+        "sweep must use the same grid and scenario flags)",
+    )
+    grid: str = opt(
+        "baseline;bundled-deps:share=0.15|0.3;cve-range-drift:rate=0.3",
+        "--grid",
+        metavar="SPEC",
+        help="sweep grid: ';'-separated pack segments, each 'pack' or "
+        "'pack:name=v1|v2,...' ('|' lists values; a segment expands to "
+        "the cartesian product of its parameters)",
+    )
+    population: int = opt(
+        40,
+        "--population",
+        type=int,
+        metavar="N",
+        help="domains per grid point (default: 40)",
+    )
+    seed: int = opt(
+        7,
+        "--seed",
+        type=int,
+        metavar="SEED",
+        help="scenario seed shared by every grid point (default: 7)",
+    )
+    weeks: int = opt(
+        4,
+        "--weeks",
+        type=int,
+        metavar="N",
+        help="calendar weeks every point crawls (default: 4; unlike "
+        "'orchestrate', the window is fixed — the scenario varies)",
+    )
+    degrade_policy: str = opt(
+        "skip",
+        "--degrade-policy",
+        choices=("skip", "block", "run-stale"),
+        help="what dead-lettered jobs do to their hard dependents; the "
+        "fold always runs over whatever points completed",
+    )
+    max_job_retries: int = opt(
+        2,
+        "--max-job-retries",
+        type=int,
+        metavar="N",
+        help="retries per failed job before it dead-letters (default: 2)",
+    )
+    lease_seconds: float = opt(
+        60.0,
+        "--lease-seconds",
+        type=float,
+        metavar="SECONDS",
+        help="job lease duration on the fleet clock (default: 60)",
+    )
+    backend: Optional[str] = opt(
+        None,
+        "--backend",
+        choices=EXECUTION_BACKENDS,
+        help="execution backend for the per-point crawl jobs",
+    )
+    workers: Optional[int] = opt(
+        None,
+        "--workers",
+        type=int,
+        metavar="N",
+        help="shard each point's crawl across N workers",
+    )
+    fault_plan: Optional[str] = opt(
+        None,
+        "--fault-plan",
+        metavar="SPEC",
+        help="deterministic fleet chaos (same spelling as orchestrate); "
+        "the folded sweep document converges regardless",
+    )
+
+    def __post_init__(self) -> None:
+        if self.queue_dir is not None:
+            object.__setattr__(self, "queue_dir", str(self.queue_dir))
+        if self.population < 1:
+            raise ConfigError(f"population must be >= 1, got {self.population}")
+        if self.weeks < 1:
+            raise ConfigError(f"weeks must be >= 1, got {self.weeks}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+
+    def to_spec(self):
+        """The validated :class:`~repro.sweep.SweepSpec` for the grid."""
+        from .sweep import SweepSpec
+
+        return SweepSpec.parse(self.grid)
+
+    def to_plan(self):
+        """The validated sweep :class:`~repro.orchestrator.FleetPlan`."""
+        from .orchestrator import FleetPlan
+
+        fault_spec = self.fault_plan or ""
+        if fault_spec:
+            FaultPlan.from_spec(fault_spec)
+        return FleetPlan.build_sweep(
+            self.to_spec().points,
+            population=self.population,
+            seed=self.seed,
+            weeks=self.weeks,
+            degrade_policy=self.degrade_policy,
+            max_job_retries=self.max_job_retries,
+            lease_seconds=self.lease_seconds,
+            backend=self.backend,
+            workers=self.workers,
+            fault_spec=fault_spec,
+        )
+
+
+#: --help group header for the sweep flag surface.
+SWEEP_OPTION_GROUP = (
+    "sweep options",
+    "orchestrated scenario-pack sweep (repro.sweep)",
+)
+
+
+# ----------------------------------------------------------------------
 # CLI derivation: argparse groups from the same field metadata
 # ----------------------------------------------------------------------
 def _add_group_fields(group, option_cls) -> None:
@@ -663,6 +816,25 @@ def orchestrate_options_from_namespace(namespace) -> OrchestratorOptions:
     )
 
 
+def add_sweep_arguments(parser) -> None:
+    """Add the :class:`SweepOptions` flags to ``parser``."""
+    title, description = SWEEP_OPTION_GROUP
+    group = parser.add_argument_group(title, description)
+    _add_group_fields(group, SweepOptions)
+
+
+def sweep_options_from_namespace(namespace) -> SweepOptions:
+    """Build validated :class:`SweepOptions` from parsed arguments.
+
+    Raises:
+        ConfigError: A sweep knob is out of range or the grid spec is
+            malformed (unknown pack, undeclared parameter, bad value).
+    """
+    return SweepOptions(
+        **_group_values_from_namespace(SweepOptions, namespace)
+    )
+
+
 def add_serve_arguments(parser) -> None:
     """Add the :class:`ServeOptions` flags to ``parser``."""
     title, description = SERVE_OPTION_GROUP
@@ -692,12 +864,16 @@ __all__ = [
     "ResilienceOptions",
     "RunOptions",
     "SERVE_OPTION_GROUP",
+    "SWEEP_OPTION_GROUP",
     "ServeOptions",
+    "SweepOptions",
     "add_option_arguments",
     "add_orchestrate_arguments",
     "add_serve_arguments",
+    "add_sweep_arguments",
     "opt",
     "options_from_namespace",
     "orchestrate_options_from_namespace",
     "serve_options_from_namespace",
+    "sweep_options_from_namespace",
 ]

@@ -20,7 +20,16 @@ Quick start::
 """
 
 from .fleet import Orchestrator, fleet_metrics, status_lines
-from .jobs import DEGRADE_POLICIES, JOB_KINDS, FleetPlan, JobSpec, job_id
+from .jobs import (
+    DEGRADE_POLICIES,
+    JOB_KINDS,
+    SWEEP_ANALYSES,
+    SWEEP_CRAWL,
+    SWEEP_FOLD,
+    FleetPlan,
+    JobSpec,
+    job_id,
+)
 from .queue import (
     DEAD_LETTER,
     DEGRADED_STATES,
@@ -48,6 +57,9 @@ __all__ = [
     "Orchestrator",
     "PENDING",
     "QueueScan",
+    "SWEEP_ANALYSES",
+    "SWEEP_CRAWL",
+    "SWEEP_FOLD",
     "TERMINAL_STATES",
     "fleet_metrics",
     "job_id",

@@ -302,12 +302,23 @@ def status_lines(queue_dir: Union[str, Path]) -> List[str]:
         )
     plan = queue._load_manifest()
     records = queue.load_records(plan)
-    lines = [
-        f"fleet {plan.digest()[:12]}: {plan.ticks} tick(s) x "
-        f"{len(plan.jobs) // plan.ticks} jobs, population "
-        f"{plan.population}, seed {plan.seed}, policy "
-        f"{plan.degrade_policy}"
-    ]
+    if plan.is_sweep:
+        lines = [
+            f"sweep {plan.digest()[:12]}: "
+            f"{len(plan.sweep_points)} point(s) x "
+            f"{plan.weeks_per_tick} week(s), population "
+            f"{plan.population}, seed {plan.seed}, policy "
+            f"{plan.degrade_policy}"
+        ]
+        for index, point in enumerate(plan.sweep_points):
+            lines.append(f"  point {index:03d}: {point.describe()}")
+    else:
+        lines = [
+            f"fleet {plan.digest()[:12]}: {plan.ticks} tick(s) x "
+            f"{len(plan.jobs) // plan.ticks} jobs, population "
+            f"{plan.population}, seed {plan.seed}, policy "
+            f"{plan.degrade_policy}"
+        ]
     for record in records:
         detail = f"attempts={record.attempt}"
         if record.state == PENDING and record.lease_owner:

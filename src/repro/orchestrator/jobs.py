@@ -33,6 +33,7 @@ import json
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
+from ..sweep.spec import SweepPoint
 
 #: Version of the queue-manifest (``queue.json``) schema.
 FLEET_FORMAT = 1
@@ -43,7 +44,20 @@ ANALYSES = "analyses"
 REPORT = "report"
 SERVE = "serve"
 
-JOB_KINDS = (CRAWL, ANALYSES, REPORT, SERVE)
+#: Sweep job kinds: one crawl+analyses chain per grid point, one fold.
+SWEEP_CRAWL = "sweep-crawl"
+SWEEP_ANALYSES = "sweep-analyses"
+SWEEP_FOLD = "sweep-fold"
+
+JOB_KINDS = (
+    CRAWL,
+    ANALYSES,
+    REPORT,
+    SERVE,
+    SWEEP_CRAWL,
+    SWEEP_ANALYSES,
+    SWEEP_FOLD,
+)
 
 #: What a failed hard dependency does to its dependents.
 DEGRADE_POLICIES = ("skip", "block", "run-stale")
@@ -118,10 +132,19 @@ class FleetPlan:
     #: covers it and a resume reconstructs the identical plan.
     fault_spec: str = ""
     jobs: Tuple[JobSpec, ...] = ()
+    #: Non-empty for sweep fleets: one grid point per tick.  Pure data
+    #: (pack name + raw params), so the plan digest pins the entire
+    #: grid and a queue opened with a different grid is refused.
+    sweep_points: Tuple[SweepPoint, ...] = ()
 
     def __post_init__(self) -> None:
         if self.ticks < 1:
             raise ConfigError(f"ticks must be >= 1, got {self.ticks}")
+        if self.sweep_points and len(self.sweep_points) != self.ticks:
+            raise ConfigError(
+                f"sweep plans need one tick per grid point: "
+                f"{len(self.sweep_points)} point(s) vs {self.ticks} tick(s)"
+            )
         if self.weeks_per_tick < 1:
             raise ConfigError(
                 f"weeks_per_tick must be >= 1, got {self.weeks_per_tick}"
@@ -190,6 +213,76 @@ class FleetPlan:
             jobs=tuple(jobs),
         )
 
+    @classmethod
+    def build_sweep(
+        cls,
+        points: Tuple[SweepPoint, ...],
+        population: int,
+        seed: int,
+        weeks: int,
+        *,
+        mode: str = "manifest",
+        degrade_policy: str = "skip",
+        max_job_retries: int = 2,
+        lease_seconds: float = 60.0,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        fault_spec: str = "",
+    ) -> "FleetPlan":
+        """Lay out a sweep: one crawl+analyses chain per grid point.
+
+        Every point crawls the *same* ``weeks``-week window under its
+        own pack-transformed scenario (tick = grid index), then a
+        single ``sweep-fold`` job compares them::
+
+            sweep-crawl-000 ──▶ sweep-analyses-000 ──┐
+            sweep-crawl-001 ──▶ sweep-analyses-001 ──┼──▶ sweep-fold-000
+            sweep-crawl-002 ──▶ sweep-analyses-002 ──┘
+
+        Unlike beat ticks, sweep crawls share nothing: each point is a
+        different dataset, so there are no cross-point profile
+        generations (no soft deps between crawls).  The fold's inputs
+        are *soft*: a dead-lettered point never blocks the comparison —
+        the fold runs over whatever completed and records the holes.
+        """
+        points = tuple(points)
+        if not points:
+            raise ConfigError("a sweep plan needs at least one grid point")
+        jobs: List[JobSpec] = []
+        for tick in range(len(points)):
+            crawl = job_id(SWEEP_CRAWL, tick)
+            analyses = job_id(SWEEP_ANALYSES, tick)
+            jobs.append(JobSpec(crawl, SWEEP_CRAWL, tick))
+            jobs.append(
+                JobSpec(analyses, SWEEP_ANALYSES, tick, hard_deps=(crawl,))
+            )
+        jobs.append(
+            JobSpec(
+                job_id(SWEEP_FOLD, 0),
+                SWEEP_FOLD,
+                0,
+                soft_deps=tuple(
+                    job_id(SWEEP_ANALYSES, tick)
+                    for tick in range(len(points))
+                ),
+            )
+        )
+        return cls(
+            population=population,
+            seed=seed,
+            ticks=len(points),
+            weeks_per_tick=weeks,
+            mode=mode,
+            degrade_policy=degrade_policy,
+            max_job_retries=max_job_retries,
+            lease_seconds=lease_seconds,
+            backend=backend,
+            workers=workers,
+            fault_spec=fault_spec,
+            jobs=tuple(jobs),
+            sweep_points=points,
+        )
+
     # ------------------------------------------------------------------
     def job(self, job_id_: str) -> JobSpec:
         for spec in self.jobs:
@@ -197,8 +290,24 @@ class FleetPlan:
                 return spec
         raise KeyError(job_id_)
 
+    @property
+    def is_sweep(self) -> bool:
+        return bool(self.sweep_points)
+
+    def sweep_point(self, tick: int) -> SweepPoint:
+        if not self.sweep_points:
+            raise ConfigError("not a sweep plan: no grid points")
+        return self.sweep_points[tick]
+
     def week_count(self, tick: int) -> int:
-        """Weeks the tick's crawl covers: the window grows per beat."""
+        """Weeks the tick's crawl covers.
+
+        Beat fleets grow the window per tick; sweep fleets crawl the
+        same fixed window at every grid point (the *scenario* varies,
+        not the observation span).
+        """
+        if self.sweep_points:
+            return self.weeks_per_tick
         return (tick + 1) * self.weeks_per_tick
 
     def by_id(self) -> Dict[str, JobSpec]:
@@ -206,7 +315,7 @@ class FleetPlan:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format": FLEET_FORMAT,
             "population": self.population,
             "seed": self.seed,
@@ -221,6 +330,14 @@ class FleetPlan:
             "fault_spec": self.fault_spec,
             "jobs": [spec.to_dict() for spec in self.jobs],
         }
+        # Emitted only for sweep plans: a beat fleet's manifest (and
+        # therefore its digest) is byte-identical to the pre-sweep
+        # schema, so existing queue directories keep resuming.
+        if self.sweep_points:
+            payload["sweep_points"] = [
+                point.to_dict() for point in self.sweep_points
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FleetPlan":
@@ -242,6 +359,10 @@ class FleetPlan:
             workers=payload["workers"],
             fault_spec=payload["fault_spec"],
             jobs=tuple(JobSpec.from_dict(j) for j in payload["jobs"]),
+            sweep_points=tuple(
+                SweepPoint.from_dict(p)
+                for p in payload.get("sweep_points", [])
+            ),
         )
 
     def digest(self) -> str:

@@ -117,6 +117,39 @@ class StudyReport:
         )
         return table.render() + footer
 
+    def analysis_index(self) -> str:
+        """Registered analyses, rendered from the registry.
+
+        Iterates :mod:`repro.analysis.api` instead of hand-wiring the
+        module call shapes: every registered analysis appears with its
+        paper artifact and the scenario pack the data came from.
+        """
+        from ..analysis.api import available_analyses, get_analysis
+
+        pack = self.study.config.pack.describe()
+        table = Table(
+            ["analysis", "paper artifact"],
+            title=f"Registered analyses (scenario pack: {pack})",
+        )
+        for name in available_analyses():
+            table.add_row(name, get_analysis(name).title)
+        return table.render()
+
+    def canonical_document(self, names=None) -> dict:
+        """Machine-readable report: registered analyses → canonical dicts.
+
+        ``names=None`` runs the compact headline subset (the same keys
+        the orchestrator's analyses job and the sweep fold emit).
+        """
+        from ..analysis.api import HEADLINE_ANALYSES
+
+        selected = tuple(names) if names is not None else HEADLINE_ANALYSES
+        return {
+            "format": 1,
+            "pack": self.study.config.pack.describe(),
+            "analyses": self.study.run_registered(selected),
+        }
+
     def render(self) -> str:
         """The full report."""
         sections = [
@@ -136,5 +169,7 @@ class StudyReport:
             self.section7(),
             "",
             self.figure8(),
+            "",
+            self.analysis_index(),
         ]
         return "\n".join(sections)

@@ -282,6 +282,7 @@ class FaultPlan:
             "leasestorm": "lease_expiry_rate",
             "queuetear": "queue_tear_rate",
         }
+        known = ", ".join(sorted({"seed", "weeks", *rate_aliases}))
         seen = set()
         for token in spec.split(","):
             token = token.strip()
@@ -289,7 +290,8 @@ class FaultPlan:
                 continue
             if "=" not in token:
                 raise ConfigError(
-                    f"bad fault-plan token {token!r}; expected key=value"
+                    f"bad fault-plan token {token!r}; expected key=value "
+                    f"with key one of: {known}"
                 )
             key, _, raw = token.partition("=")
             key = key.strip().lower()
@@ -327,9 +329,7 @@ class FaultPlan:
             else:
                 raise ConfigError(
                     f"unknown fault-plan key {key!r} in token {token!r}; "
-                    f"expected one of seed, crash, timeout, weeks, "
-                    f"surgeconnect, surgetimeout, surge5xx, jobcrash, "
-                    f"leasestorm, queuetear"
+                    f"known fault kinds (sorted): {known}"
                 )
         return cls(**fields)  # type: ignore[arg-type]
 

@@ -1,0 +1,27 @@
+"""Pluggable scenario packs (see :mod:`repro.scenarios.registry`)."""
+
+from .registry import (
+    PACK_FORMAT,
+    PackParam,
+    PackSpec,
+    apply_pack,
+    available_packs,
+    decode_params,
+    encode_params,
+    get_pack,
+    pack_digest,
+    register_pack,
+)
+
+__all__ = [
+    "PACK_FORMAT",
+    "PackParam",
+    "PackSpec",
+    "apply_pack",
+    "available_packs",
+    "decode_params",
+    "encode_params",
+    "get_pack",
+    "pack_digest",
+    "register_pack",
+]

@@ -1,0 +1,84 @@
+"""Built-in scenario packs.
+
+Three packs ship with the registry (a fourth, ``counterfactual``, is
+registered by :mod:`repro.analysis.counterfactuals`):
+
+* ``baseline`` — the IMC'23 web exactly as the paper measured it; with
+  default parameters the produced store is byte-identical to a run with
+  no pack selected (pinned by the golden tests).
+* ``bundled-deps`` — "Insecure Ingredients": a share of JavaScript
+  sites ship a vendored application bundle whose pinned ingredients
+  carry vulnerabilities no ``<script src>`` reveals; only surviving
+  banner comments are fingerprintable.
+* ``cve-range-drift`` — "CVE Breadcrumbs": a seeded fraction of
+  advisories get their stated affected-version range drifted away from
+  ground truth, on top of the existing TVV-vs-CVE machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..config import BundlingConfig, CveDriftConfig, ScenarioConfig
+from .registry import PackParam, register_pack
+
+
+@register_pack(
+    "baseline",
+    description="the IMC'23 web, unchanged (byte-identical to no pack)",
+)
+def baseline(config: ScenarioConfig, params: Dict[str, object]) -> ScenarioConfig:
+    return config
+
+
+@register_pack(
+    "bundled-deps",
+    description="vendored/bundled libraries with transitive inclusion "
+    "(Insecure Ingredients)",
+    params=(
+        PackParam("share", float, 0.25, "fraction of JS sites shipping a vendored bundle"),
+        PackParam("max_ingredients", int, 2, "max vendored libraries per bundle"),
+        PackParam("detection_rate", float, 0.55, "probability an ingredient's banner survives minification"),
+        PackParam("version_visible_rate", float, 0.7, "probability a surviving banner still carries its version"),
+        PackParam("pin_lag_weeks", int, 26, "weeks before study start the bundle was built"),
+    ),
+)
+def bundled_deps(
+    config: ScenarioConfig, params: Dict[str, object]
+) -> ScenarioConfig:
+    return dataclasses.replace(
+        config,
+        bundling=BundlingConfig(
+            share=params["share"],
+            max_ingredients=params["max_ingredients"],
+            detection_rate=params["detection_rate"],
+            version_visible_rate=params["version_visible_rate"],
+            pin_lag_weeks=params["pin_lag_weeks"],
+        ),
+    )
+
+
+@register_pack(
+    "cve-range-drift",
+    description="seeded mislabeling of CVE affected-version ranges "
+    "(CVE Breadcrumbs)",
+    params=(
+        PackParam("rate", float, 0.3, "fraction of advisories whose stated range drifts"),
+        PackParam("seed", int, 0, "root seed for the per-advisory drift draws"),
+        PackParam("understate_bias", float, 0.7, "probability a drifted advisory understates"),
+        PackParam("max_shift", int, 3, "max catalogued releases the stated boundary moves"),
+    ),
+)
+def cve_range_drift(
+    config: ScenarioConfig, params: Dict[str, object]
+) -> ScenarioConfig:
+    return dataclasses.replace(
+        config,
+        cve_drift=CveDriftConfig(
+            rate=params["rate"],
+            seed=params["seed"],
+            understate_bias=params["understate_bias"],
+            max_shift=params["max_shift"],
+        ),
+    )

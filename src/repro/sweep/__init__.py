@@ -1,0 +1,40 @@
+"""Orchestrated counterfactual sweeps over scenario-pack grids.
+
+* :mod:`~repro.sweep.spec` — :class:`SweepSpec` / :class:`SweepPoint`:
+  the declarative grid (``pack:name=v1|v2;...``) and its expansion into
+  full per-point scenario identities.
+* :mod:`~repro.sweep.fold` — the cross-scenario fold: canonical
+  ``fleet-sweep.json`` plus the rendered comparison table.
+
+Execution rides the orchestrator: ``FleetPlan.build_sweep`` lays the
+grid out as ``sweep-crawl -> sweep-analyses`` chains (one per point)
+behind a single ``sweep-fold`` job, inheriting the queue's leasing,
+retry, chaos, and kill/resume machinery unchanged.
+
+Quick start::
+
+    from repro.orchestrator import FleetPlan, Orchestrator
+    from repro.sweep import SweepSpec
+
+    spec = SweepSpec.parse("baseline;bundled-deps:share=0.1|0.3")
+    plan = FleetPlan.build_sweep(spec.points, population=60, seed=7, weeks=4)
+    Orchestrator("queue-dir", plan).run()
+"""
+
+from .fold import (
+    SWEEP_DOCUMENT_NAME,
+    canonical_sweep_bytes,
+    fold_documents,
+    render_sweep_report,
+)
+from .spec import SWEEP_FORMAT, SweepPoint, SweepSpec
+
+__all__ = [
+    "SWEEP_DOCUMENT_NAME",
+    "SWEEP_FORMAT",
+    "SweepPoint",
+    "SweepSpec",
+    "canonical_sweep_bytes",
+    "fold_documents",
+    "render_sweep_report",
+]

@@ -1,0 +1,152 @@
+"""Folding per-point analyses into one cross-scenario comparison.
+
+The fold consumes the sweep points and each point's analyses document
+(or ``None`` where the point's pipeline dead-lettered) and produces:
+
+* :func:`fold_documents` — the canonical ``fleet-sweep.json`` payload:
+  per-point identity (pack, params, pack digest, scenario digest) and
+  headline analyses, plus a ``comparison`` section keyed by metric so
+  downstream tooling can diff scenarios without re-deriving anything;
+* :func:`render_sweep_report` — the human-readable comparison table.
+
+Both are pure functions of durable inputs, so the folded bytes are
+identical across backends and kill/resume — the same convergence
+contract every other fleet artifact carries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .spec import SWEEP_FORMAT, SweepPoint
+
+#: The folded artifact's filename (also written at the queue root).
+SWEEP_DOCUMENT_NAME = "fleet-sweep.json"
+
+#: ``comparison`` metrics: name -> (analysis, how to extract a scalar).
+_METRICS: Tuple[Tuple[str, str, str], ...] = (
+    ("collected-per-week", "collection-series", "mean:collected"),
+    ("vulnerable-share-cve", "prevalence", "key:average_share.cve"),
+    ("vulnerable-share-tvv", "prevalence", "key:average_share.tvv"),
+    ("mean-vulns-per-site-cve", "vulnerability-cdf", "key:mean.cve"),
+)
+
+
+def _extract(analyses: dict, analysis: str, rule: str) -> Optional[float]:
+    document = analyses.get(analysis)
+    if document is None:
+        return None
+    kind, _, path = rule.partition(":")
+    if kind == "mean":
+        values = document.get(path) or []
+        return sum(values) / len(values) if values else 0.0
+    value = document
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return float(value)
+
+
+def fold_documents(
+    points: Sequence[SweepPoint],
+    documents: Sequence[Optional[dict]],
+    *,
+    population: int,
+    seed: int,
+    weeks: int,
+) -> dict:
+    """The canonical cross-scenario sweep document.
+
+    Args:
+        points: The grid, in plan order.
+        documents: One parsed ``analyses.json`` per point, ``None``
+            where that point produced no valid analyses artifact.
+    """
+    entries: List[dict] = []
+    comparison: Dict[str, Dict[str, Optional[float]]] = {
+        name: {} for name, _, _ in _METRICS
+    }
+    missing: List[str] = []
+    for index, (point, document) in enumerate(zip(points, documents)):
+        label = point.describe()
+        entry = {
+            "index": index,
+            "pack": point.pack,
+            "params": point.raw_params(),
+            "point": label,
+            "pack_digest": point.pack_digest(),
+            "scenario_digest": point.scenario_digest(population, seed),
+        }
+        if document is None:
+            entry["missing"] = True
+            missing.append(label)
+            for name, _, _ in _METRICS:
+                comparison[name][label] = None
+        else:
+            entry["missing"] = False
+            entry["analyses"] = document.get("analyses", {})
+            for name, analysis, rule in _METRICS:
+                comparison[name][label] = _extract(
+                    entry["analyses"], analysis, rule
+                )
+        entries.append(entry)
+    return {
+        "format": SWEEP_FORMAT,
+        "population": population,
+        "seed": seed,
+        "weeks": weeks,
+        "points": entries,
+        "comparison": comparison,
+        "missing": missing,
+    }
+
+
+def canonical_sweep_bytes(document: dict) -> bytes:
+    """The document's canonical JSON encoding (the durable bytes)."""
+    return (
+        json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def render_sweep_report(document: dict) -> str:
+    """The human-readable comparison table over a folded document."""
+    from ..reporting.tables import Table
+
+    table = Table(
+        ["point", "collected/wk", "vuln share (cve)", "vuln share (tvv)",
+         "mean vulns (cve)", "scenario digest"],
+        title=(
+            f"Sweep comparison — {len(document['points'])} point(s), "
+            f"population {document['population']}, seed {document['seed']}, "
+            f"{document['weeks']} week(s) per point"
+        ),
+    )
+    comparison = document["comparison"]
+
+    def cell(metric: str, label: str, spec: str) -> str:
+        value = comparison[metric].get(label)
+        return spec.format(value) if value is not None else "-"
+
+    for entry in document["points"]:
+        label = entry["point"]
+        if entry.get("missing"):
+            table.add_row(label, "missing", "-", "-", "-",
+                          entry["scenario_digest"][:12])
+            continue
+        table.add_row(
+            label,
+            cell("collected-per-week", label, "{:.1f}"),
+            cell("vulnerable-share-cve", label, "{:.4f}"),
+            cell("vulnerable-share-tvv", label, "{:.4f}"),
+            cell("mean-vulns-per-site-cve", label, "{:.4f}"),
+            entry["scenario_digest"][:12],
+        )
+    lines = [table.render()]
+    if document["missing"]:
+        lines.append(
+            "missing points (no valid analyses artifact): "
+            + ", ".join(document["missing"])
+        )
+    return "\n".join(lines)

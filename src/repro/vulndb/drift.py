@@ -1,0 +1,154 @@
+"""Seeded stated-range drift ("CVE Breadcrumbs" scenario pack).
+
+Applies deterministic mislabeling to a :class:`VulnerabilityDatabase`:
+a configured fraction of advisories get their *stated* affected range
+perturbed away from ground truth, while the TVV range is first pinned to
+the advisory's pre-drift best-known range — so the stated-vs-true
+machinery (Section 6.4) measures exactly the injected drift on top of
+whatever inaccuracy the paper already recorded.
+
+Drift is extensional: ranges are re-expressed as enumerated runs over
+the library's release catalog, then truncated (*understatement* — truly
+vulnerable releases fall outside the report) or extended across the
+patch boundary (*overstatement* — fixed releases are still flagged).
+Advisories for libraries without a release catalog are left untouched.
+
+Every decision comes from a sha256 draw keyed on
+``(drift seed, advisory identifier, channel)`` — independent of
+iteration order, scenario seed, and population, so the same drifted
+database replays over any web.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import CveDriftConfig
+from ..semver import ReleaseCatalog, Version
+from ..semver.catalog import builtin_catalogs
+from ..semver.ranges import Bound, RangeSet, VersionRange
+from .model import Advisory
+from .store import VulnerabilityDatabase
+
+
+def _draw(seed: int, identifier: str, channel: str) -> float:
+    """Uniform [0, 1) from a keyed sha256 draw (order-independent)."""
+    payload = f"{seed}:{identifier.upper()}:{channel}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _runs_to_rangeset(
+    versions: Sequence[Version], catalog_versions: Sequence[Version]
+) -> RangeSet:
+    """Enumerate ``versions`` as closed intervals over the catalog order.
+
+    Contiguous catalogued releases collapse into one ``[lo, hi]`` run,
+    so the drifted range reads like a real advisory's notation.
+    """
+    index = {v: i for i, v in enumerate(catalog_versions)}
+    ordered = sorted(set(versions))
+    ranges: List[VersionRange] = []
+    run_start: Optional[Version] = None
+    previous: Optional[Version] = None
+    for version in ordered:
+        if run_start is None:
+            run_start = previous = version
+            continue
+        if index[version] == index[previous] + 1:
+            previous = version
+            continue
+        ranges.append(
+            VersionRange(lower=Bound(run_start, True), upper=Bound(previous, True))
+        )
+        run_start = previous = version
+    if run_start is not None:
+        ranges.append(
+            VersionRange(lower=Bound(run_start, True), upper=Bound(previous, True))
+        )
+    return RangeSet(ranges, source=None)
+
+
+def drift_advisory(
+    advisory: Advisory, catalog: ReleaseCatalog, drift: CveDriftConfig
+) -> Advisory:
+    """Return the drifted form of one advisory (or it unchanged).
+
+    The pre-drift :attr:`~Advisory.effective_range` becomes the pinned
+    ``true_range``; the new ``stated_range`` is that truth truncated
+    (understated) or extended (overstated) by a seeded number of
+    catalogued releases.
+    """
+    if _draw(drift.seed, advisory.identifier, "drift") >= drift.rate:
+        return advisory
+    catalog_versions = list(catalog.versions)
+    affected = [v for v in catalog_versions if advisory.effective_range.contains(v)]
+    if not affected:
+        return advisory
+    shift = 1 + int(_draw(drift.seed, advisory.identifier, "shift") * drift.max_shift)
+    understate = (
+        _draw(drift.seed, advisory.identifier, "direction") < drift.understate_bias
+    )
+    index = {v: i for i, v in enumerate(catalog_versions)}
+    if understate:
+        # Truncate the newest affected releases out of the report; keep
+        # at least one stated version so the advisory stays plausible.
+        shift = min(shift, len(affected) - 1)
+        if shift == 0:
+            return advisory
+        stated_versions = affected[:-shift]
+    else:
+        # Extend across the patch boundary: the next catalogued releases
+        # above the truly-affected set get flagged too (or below it when
+        # the range already reaches the newest release).
+        top = index[affected[-1]]
+        extras = catalog_versions[top + 1 : top + 1 + shift]
+        if not extras:
+            bottom = index[affected[0]]
+            extras = catalog_versions[max(0, bottom - shift) : bottom]
+        if not extras:
+            return advisory
+        stated_versions = sorted(set(affected) | set(extras))
+    return dataclasses.replace(
+        advisory,
+        stated_range=_runs_to_rangeset(stated_versions, catalog_versions),
+        true_range=_runs_to_rangeset(affected, catalog_versions),
+        notes=(advisory.notes + " " if advisory.notes else "")
+        + f"[drifted: seed={drift.seed} "
+        + ("understated" if understate else "overstated")
+        + f" shift={shift}]",
+    )
+
+
+def drifted_database(
+    database: VulnerabilityDatabase, drift: CveDriftConfig
+) -> VulnerabilityDatabase:
+    """Apply seeded stated-range drift to every eligible advisory."""
+    if not drift.enabled:
+        return database
+    catalogs = builtin_catalogs()
+    records = []
+    for advisory in database:
+        catalog = catalogs.get(advisory.library)
+        if catalog is None:
+            records.append(advisory)
+            continue
+        records.append(drift_advisory(advisory, catalog, drift))
+    return VulnerabilityDatabase(records)
+
+
+def drift_summary(
+    original: VulnerabilityDatabase, drifted: VulnerabilityDatabase
+) -> Tuple[Tuple[str, str], ...]:
+    """(identifier, verdict) for every advisory whose stated range moved."""
+    from .model import classify_accuracy
+
+    changed = []
+    for advisory in drifted:
+        before = original.get(advisory.identifier)
+        if advisory.stated_range == before.stated_range:
+            continue
+        changed.append((advisory.identifier, classify_accuracy(advisory).value))
+    return tuple(sorted(changed))

@@ -1,0 +1,128 @@
+"""Vendored application bundles ("Insecure Ingredients" scenario pack).
+
+A bundled site ships a built JavaScript application that *vendors*
+copies of libraries pinned at bundle-build time.  No ``<script src>``
+reveals the ingredient: the only fingerprintable trace is the library's
+banner comment surviving minification inside the inline bundle chunk —
+exactly the engine's inline-banner channel.  Undetectable ingredients
+(banner stripped) exist only in generation ground truth; the crawl never
+sees them, which is the point of the scenario.
+
+Everything here is a pure function of the scenario seed and
+:class:`~repro.config.BundlingConfig`; the sampling draws come from a
+dedicated RNG stream (``0xB17D``) so enabling bundling never perturbs
+the baseline site draws.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import BundlingConfig
+from ..semver import ReleaseCatalog
+
+#: Banner comment templates per vendorable library: (versioned form,
+#: versionless form or None).  Each versioned form matches the library's
+#: ``inline_pattern`` in :mod:`repro.fingerprint.signatures` and yields
+#: exactly the interpolated version; a versionless form matches with no
+#: version group.  Libraries whose inline pattern *requires* a version
+#: have no versionless form — when such an ingredient's version is
+#: hidden, the banner is unrecognizable and the ingredient goes fully
+#: undetected.
+BUNDLE_BANNERS: Dict[str, Tuple[str, Optional[str]]] = {
+    "jquery": ("/*! jQuery JavaScript Library v{version} | jquery.org/license */", None),
+    "jquery-migrate": ("/*! jQuery Migrate v{version} | jquery.org/license */", "/*! jQuery Migrate | jquery.org/license */"),
+    "jquery-ui": ("/*! jQuery UI - v{version} | jqueryui.com */", "/*! jQuery UI | jqueryui.com */"),
+    "bootstrap": ("/*! Bootstrap v{version} (https://getbootstrap.com) */", None),
+    "modernizr": ("/*! Modernizr v{version} | MIT License */", None),
+    "underscore": ("//     Underscore.js {version}", None),
+    "isotope": ("/*! Isotope PACKAGED v{version} | isotope.metafizzy.co */", None),
+    "moment": ("//! moment.js version {version}", "//! moment.js"),
+}
+
+#: Deterministic ingredient pool order (sampling indexes into this).
+VENDORABLE_LIBRARIES: Tuple[str, ...] = tuple(sorted(BUNDLE_BANNERS))
+
+
+@dataclasses.dataclass(frozen=True)
+class VendoredInclusion:
+    """One library vendored inside a site's application bundle.
+
+    Ground truth for generation; ``detected`` already accounts for
+    banner stripping (an ingredient whose version is hidden but whose
+    banner format cannot appear versionless is undetectable outright).
+
+    Invariant: ``detected and not version_visible`` implies the library
+    has a versionless banner form in :data:`BUNDLE_BANNERS`.
+    """
+
+    library: str
+    version: str
+    detected: bool
+    version_visible: bool
+
+
+def pin_date(study_start: datetime.date, bundling: BundlingConfig) -> datetime.date:
+    """The date the bundle was last built (ingredients pin here)."""
+    return study_start - datetime.timedelta(weeks=bundling.pin_lag_weeks)
+
+
+def sample_vendored(
+    rng: np.random.Generator,
+    bundling: BundlingConfig,
+    catalogs: Dict[str, ReleaseCatalog],
+    study_start: datetime.date,
+) -> Tuple[VendoredInclusion, ...]:
+    """Draw one site's vendored ingredient set (may be empty).
+
+    The caller owns the RNG stream; every call consumes an identical
+    draw shape given the same config, so sites are independent.
+    """
+    if rng.random() >= bundling.share:
+        return ()
+    count = 1 + int(rng.integers(0, bundling.max_ingredients))
+    count = min(count, len(VENDORABLE_LIBRARIES))
+    picks = rng.choice(len(VENDORABLE_LIBRARIES), size=count, replace=False)
+    built = pin_date(study_start, bundling)
+    ingredients = []
+    for index in sorted(int(i) for i in picks):
+        library = VENDORABLE_LIBRARIES[index]
+        catalog = catalogs[library]
+        release = catalog.latest_as_of(built) or catalog.first
+        detected = bool(rng.random() < bundling.detection_rate)
+        version_visible = bool(rng.random() < bundling.version_visible_rate)
+        if detected and not version_visible and BUNDLE_BANNERS[library][1] is None:
+            # The banner only exists in a versioned form; hiding the
+            # version means the minifier stripped it entirely.
+            detected = False
+        ingredients.append(
+            VendoredInclusion(
+                library=library,
+                version=release.version.text,
+                detected=detected,
+                version_visible=version_visible,
+            )
+        )
+    return tuple(ingredients)
+
+
+def bundle_chunk(vendored: VendoredInclusion, rank: int) -> str:
+    """The inline ``<script>`` body for one bundle chunk.
+
+    Detected ingredients lead with their banner comment; undetected ones
+    render as an opaque minified chunk that matches no signature.
+    """
+    stub = f'!function(){{"use strict";var n={rank};}}();'
+    if not vendored.detected:
+        return stub
+    versioned, versionless = BUNDLE_BANNERS[vendored.library]
+    if vendored.version_visible:
+        banner = versioned.format(version=vendored.version)
+    else:
+        assert versionless is not None
+        banner = versionless
+    return f"{banner}\n{stub}"

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .bundles import bundle_chunk
 from .site import ExtraScript, FlashUsage, LibraryInclusion, SiteManifest
 
 #: File-name token used for each library in generated URLs.
@@ -186,6 +187,10 @@ def render_page(manifest: SiteManifest) -> str:
     if manifest.flash is not None:
         body.append(_flash_markup(manifest.flash, domain.rank))
     if "javascript" in types:
+        # Vendored bundle chunks: one inline <script> per ingredient (a
+        # chunk-split application build), then the site's own bootstrap.
+        for vendored in manifest.vendored:
+            body.append(f"<script>{bundle_chunk(vendored, domain.rank)}</script>")
         body.append("<script>window.__site={rank:%d};</script>" % domain.rank)
     body.append("</body></html>")
     return "\n".join(head + body)

@@ -27,6 +27,7 @@ import numpy as np
 from ..config import ScenarioConfig
 from ..semver import ReleaseCatalog, builtin_catalogs, parse_version
 from ..timeline import StudyCalendar
+from .bundles import VendoredInclusion, sample_vendored
 from .domains import Domain
 from .flashgen import FlashAssignment, FlashModel
 from .github_hosting import GITHUB_SCRIPTS
@@ -98,6 +99,9 @@ class SiteManifest:
     extra_scripts: Tuple[ExtraScript, ...]
     resource_types: FrozenSet[str]
     flash: Optional[FlashUsage]
+    #: Libraries vendored inside the site's application bundle (no URL;
+    #: empty unless the scenario enables bundling).
+    vendored: Tuple[VendoredInclusion, ...] = ()
 
     def inclusion_of(self, library: str) -> Optional[LibraryInclusion]:
         for inclusion in self.libraries:
@@ -260,6 +264,24 @@ class SiteState:
                 )
                 scripts.append(ExtraScript(url=url, integrity=integrity))
             self.extra_scripts = tuple(scripts)
+
+        # Vendored application bundle (scenario packs).  A dedicated RNG
+        # stream keeps every baseline draw above untouched: with
+        # bundling disabled this block consumes nothing, and with it
+        # enabled the extra draws never interleave with the organic
+        # stream.
+        self.vendored: Tuple[VendoredInclusion, ...] = ()
+        bundling = self.config.bundling
+        if bundling.enabled and not self.no_javascript:
+            vendor_rng = np.random.default_rng(
+                [self.config.seed, self.domain.rank, 0xB17D]
+            )
+            self.vendored = sample_vendored(
+                vendor_rng,
+                bundling,
+                self._catalogs,
+                self.calendar.week_at(0).date,
+            )
 
     # ------------------------------------------------------------------
     def _hazard(self) -> float:
@@ -527,4 +549,5 @@ class SiteState:
             extra_scripts=self.extra_scripts,
             resource_types=frozenset(resource_types),
             flash=flash_usage,
+            vendored=self.vendored,
         )

@@ -265,11 +265,13 @@ class TestShardErrorContext:
             raise ValueError("catastrophic fingerprint failure")
 
         monkeypatch.setattr(worker_module, "execute_shard", explode)
+        from repro.options import RunOptions
+
         study = Study(
             ScenarioConfig(population=20, seed=5),
-            workers=2,
-            backend="thread",
-            max_shard_retries=1,
+            options=RunOptions.from_kwargs(
+                workers=2, backend="thread", max_shard_retries=1
+            ),
         )
         weeks = study.config.calendar.weeks[:2]
         with pytest.raises(ShardExecutionError) as excinfo:
@@ -285,12 +287,16 @@ class TestShardErrorContext:
         assert "ValueError: catastrophic fingerprint failure" in message
 
     def test_degraded_study_completes_with_empty_store(self):
+        from repro.options import RunOptions
+
         study = Study(
             ScenarioConfig(population=20, seed=5),
-            workers=2,
-            backend="serial",
-            max_shard_retries=1,
-            fault_plan=FaultPlan(seed=1, crash_rate=1.0),
+            options=RunOptions.from_kwargs(
+                workers=2,
+                backend="serial",
+                max_shard_retries=1,
+                fault_plan=FaultPlan(seed=1, crash_rate=1.0),
+            ),
         )
         weeks = study.config.calendar.weeks[:2]
         report = study.run(weeks=weeks)

@@ -275,8 +275,15 @@ class TestBackendEquivalence:
         ],
     )
     def test_sharded_matches_serial(self, serial_study, backend, workers, shard_size):
+        from repro.options import ExecutionOptions, RunOptions
+
         study = Study(
-            self.CONFIG, workers=workers, backend=backend, shard_size=shard_size
+            self.CONFIG,
+            options=RunOptions(
+                execution=ExecutionOptions(
+                    workers=workers, backend=backend, shard_size=shard_size
+                )
+            ),
         )
         report = study.run(weeks=self.WEEKS)
         assert report.pages_collected == serial_study.crawl_report.pages_collected
@@ -290,7 +297,15 @@ class TestBackendEquivalence:
         weeks = config.calendar.weeks[:6]
         serial = Study(config, mode="full")
         serial.run(weeks=weeks)
-        sharded = Study(config, mode="full", workers=3, backend="thread")
+        from repro.options import ExecutionOptions, RunOptions
+
+        sharded = Study(
+            config,
+            mode="full",
+            options=RunOptions(
+                execution=ExecutionOptions(workers=3, backend="thread")
+            ),
+        )
         sharded.run(weeks=weeks)
         assert store_to_dict(sharded.store) == store_to_dict(serial.store)
 
@@ -309,7 +324,13 @@ class TestIncrementalEquivalence:
 
     @pytest.fixture(scope="class")
     def uncached_full(self):
-        study = Study(self.CONFIG, mode="full", profile_cache=False)
+        from repro.options import RunOptions
+
+        study = Study(
+            self.CONFIG,
+            mode="full",
+            options=RunOptions.from_kwargs(profile_cache=False),
+        )
         study.run(weeks=self.WEEKS)
         return study
 
@@ -326,13 +347,19 @@ class TestIncrementalEquivalence:
     def test_cached_full_crawl_matches_uncached(
         self, uncached_full, backend, workers, shard_size
     ):
+        from repro.options import ExecutionOptions, RunOptions
+
         study = Study(
             self.CONFIG,
             mode="full",
-            workers=workers,
-            backend=backend,
-            shard_size=shard_size,
-            profile_cache=True,
+            options=RunOptions(
+                execution=ExecutionOptions(
+                    workers=workers,
+                    backend=backend,
+                    shard_size=shard_size,
+                    profile_cache=True,
+                )
+            ),
         )
         report = study.run(weeks=self.WEEKS)
         baseline = uncached_full.crawl_report
@@ -368,9 +395,11 @@ class TestIncrementalEquivalence:
     def test_manifest_mode_cached_matches_uncached(self):
         config = ScenarioConfig(population=100, seed=55)
         weeks = config.calendar.weeks[:8]
-        off = Study(config, profile_cache=False)
+        from repro.options import RunOptions
+
+        off = Study(config, options=RunOptions.from_kwargs(profile_cache=False))
         off.run(weeks=weeks)
-        on = Study(config, profile_cache=True)
+        on = Study(config, options=RunOptions.from_kwargs(profile_cache=True))
         report = on.run(weeks=weeks)
         assert report.cache_hits > 0
         # Manifest mode looks up once per collected page.
